@@ -1,0 +1,75 @@
+package atcsched
+
+import (
+	"fmt"
+	"testing"
+
+	"atcsched/internal/sim"
+)
+
+func TestControllerFacade(t *testing.T) {
+	ctl := NewController(DefaultControlConfig())
+	ctl.Observe(1, sim.Millisecond, 30*sim.Millisecond)
+	ctl.Observe(1, 2*sim.Millisecond, 30*sim.Millisecond)
+	ctl.Observe(1, 3*sim.Millisecond, 30*sim.Millisecond)
+	out := ctl.NodeSlices([]VMInfo{{ID: 1, Parallel: true}})
+	if out[1] != 24*sim.Millisecond {
+		t.Errorf("slice = %v, want 24ms after one α step", out[1])
+	}
+}
+
+func TestScenarioFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultScenarioConfig(2, ATC)
+	cfg.Seed = 5
+	s, err := NewScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := NPBProfile("is", "A")
+	prof.Iterations = 4
+	var runs []interface{ MeanTime() float64 }
+	for vc := 0; vc < 2; vc++ {
+		vms := s.VirtualCluster(fmt.Sprintf("vc%d", vc), 2, 4, nil)
+		runs = append(runs, s.RunParallel(prof, vms, 2, false))
+	}
+	if !s.Go(600 * sim.Second) {
+		t.Fatal("horizon exceeded")
+	}
+	for i, r := range runs {
+		if r.MeanTime() <= 0 {
+			t.Errorf("run %d mean time = 0", i)
+		}
+	}
+}
+
+func TestNPBProfileFacade(t *testing.T) {
+	p := NPBProfile("lu", "B")
+	if p.Name != "lu.B" {
+		t.Errorf("name = %q", p.Name)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad class accepted")
+		}
+	}()
+	NPBProfile("lu", "D")
+}
+
+func TestExperimentsFacade(t *testing.T) {
+	if len(Experiments()) != 15 {
+		t.Errorf("experiments = %d, want 15", len(Experiments()))
+	}
+	tables, err := RunExperiment("tab1", "small", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 {
+		t.Fatal("no tables")
+	}
+	if _, err := RunExperiment("tab1", "huge", 1); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if _, err := RunExperiment("nope", "small", 1); err == nil {
+		t.Error("bad id accepted")
+	}
+}

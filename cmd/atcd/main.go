@@ -1,0 +1,174 @@
+// Command atcd is a userspace Adaptive Time-slice Control daemon
+// prototype. The paper implements ATC inside Xen's scheduler; this
+// daemon runs the identical control law (internal/core) in userspace
+// against pluggable latency sources and slice actuators — the deployment
+// shape available without hypervisor modifications.
+//
+// Backends:
+//
+//	-backend demo    synthesize a contention episode and print the
+//	                 control trajectory (default)
+//	-backend stdio   one period per input line group: lines of
+//	                 "<vmID> <avg-latency-us> <parallel:0|1> [admin-us]"
+//	                 terminated by "--"; emits "vm<N> <slice>us" lines
+//	-backend sim     close the loop against a live simulated cluster:
+//	                 the daemon samples real spinlock latencies from the
+//	                 simulator and actuates its schedulers' slices
+//
+// Example:
+//
+//	printf '1 2000 1\n--\n1 4000 1\n--\n' | atcd -backend stdio
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"atcsched/internal/core"
+	"atcsched/internal/daemon"
+	"atcsched/internal/sim"
+	"atcsched/internal/workload"
+)
+
+func main() {
+	var (
+		backend   = flag.String("backend", "demo", "demo | stdio | sim")
+		defSlice  = flag.Float64("default", 30, "default slice in ms")
+		threshold = flag.Float64("min", 0.3, "minimum slice threshold in ms")
+		alpha     = flag.Float64("alpha", 6, "coarse adjustment step in ms")
+		beta      = flag.Float64("beta", 0.3, "fine adjustment step in ms")
+		periods   = flag.Int("periods", 40, "demo: number of control periods")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Default:      sim.FromMillis(*defSlice),
+		MinThreshold: sim.FromMillis(*threshold),
+		Alpha:        sim.FromMillis(*alpha),
+		Beta:         sim.FromMillis(*beta),
+		Window:       3,
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	var src daemon.Source
+	var act daemon.Actuator = daemon.WriterActuator{W: os.Stdout}
+	var sb *daemon.SimBackend
+	switch *backend {
+	case "demo":
+		src = demoSource(*periods)
+	case "stdio":
+		src = &stdioSource{r: bufio.NewScanner(os.Stdin)}
+	case "sim":
+		var err error
+		sb, err = daemon.NewSimBackend(daemon.SimBackendConfig{
+			Class:      workload.ClassB,
+			MaxPeriods: *periods,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		src, act = sb, sb
+	default:
+		fatal(fmt.Errorf("unknown backend %q", *backend))
+	}
+	d := daemon.New(cfg, src, act)
+	if err := d.Run(); err != nil && !daemon.IsDone(err) {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "atcd: %d control periods executed\n", d.Periods())
+	if sb != nil {
+		var rounds int
+		for _, r := range sb.Runs() {
+			rounds += r.Rounds()
+		}
+		fmt.Printf("sim backend: %d application rounds completed in %v of virtual time\n",
+			rounds, sb.World.Eng.Now())
+		for _, vm := range sb.World.Node(0).VMs() {
+			fmt.Printf("  node0 %s latency-driven slice converged (see trace above)\n", vm.Name())
+			break
+		}
+	}
+}
+
+// demoSource synthesizes a parallel VM going through idle → rising
+// contention → decay → idle, next to a non-parallel neighbour.
+func demoSource(periods int) daemon.Source {
+	var ps [][]daemon.VMSample
+	for i := 0; i < periods; i++ {
+		var lat sim.Time
+		switch {
+		case i < 5: // idle
+		case i < periods/2: // rising contention
+			lat = sim.Time(i-4) * 2 * sim.Millisecond
+		case i < periods*3/4: // decaying
+			lat = sim.Time(periods-i) * sim.Millisecond
+		default: // idle again
+		}
+		ps = append(ps, []daemon.VMSample{
+			{ID: 1, AvgSpinLatency: lat, Parallel: true},
+			{ID: 2, Parallel: false},
+		})
+	}
+	return &daemon.SliceSource{Periods: ps}
+}
+
+// stdioSource parses period groups from stdin.
+type stdioSource struct {
+	r *bufio.Scanner
+}
+
+// Sample implements daemon.Source.
+func (s *stdioSource) Sample() ([]daemon.VMSample, error) {
+	var out []daemon.VMSample
+	for s.r.Scan() {
+		line := strings.TrimSpace(s.r.Text())
+		if line == "" {
+			continue
+		}
+		if line == "--" {
+			return out, nil
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			return nil, fmt.Errorf("atcd: bad input line %q (want: id latency-us parallel [admin-us])", line)
+		}
+		id, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("atcd: bad vm id %q", f[0])
+		}
+		latUS, err := strconv.ParseFloat(f[1], 64)
+		if err != nil || latUS < 0 {
+			return nil, fmt.Errorf("atcd: bad latency %q", f[1])
+		}
+		par := f[2] == "1" || strings.EqualFold(f[2], "true")
+		vs := daemon.VMSample{
+			ID:             id,
+			AvgSpinLatency: sim.Time(latUS * float64(sim.Microsecond)),
+			Parallel:       par,
+		}
+		if len(f) >= 4 {
+			adminUS, err := strconv.ParseFloat(f[3], 64)
+			if err != nil || adminUS < 0 {
+				return nil, fmt.Errorf("atcd: bad admin slice %q", f[3])
+			}
+			vs.AdminSlice = sim.Time(adminUS * float64(sim.Microsecond))
+		}
+		out = append(out, vs)
+	}
+	if len(out) > 0 {
+		return out, nil
+	}
+	return nil, io.EOF
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atcd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,188 @@
+// Command atcsim runs a single ad-hoc scenario: a cluster of nodes under
+// a chosen scheduling approach, a set of identical virtual clusters
+// running one NPB-like kernel, and optional non-parallel co-tenants. It
+// prints per-cluster execution times, spinlock latency, and scheduler
+// statistics — a quick way to poke at the simulator without the full
+// experiment harness.
+//
+// Example:
+//
+//	atcsim -nodes 4 -sched ATC -kernel lu -class B -vcs 4 -rounds 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"atcsched/internal/cluster"
+	"atcsched/internal/report"
+	"atcsched/internal/scenario"
+	"atcsched/internal/sched/atc"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+	"atcsched/internal/workload"
+)
+
+func main() {
+	var (
+		specFile = flag.String("f", "", "run a JSON scenario file instead of the flag-built scenario (see examples/scenarios)")
+		nodes    = flag.Int("nodes", 2, "physical nodes")
+		schedArg = flag.String("sched", "ATC", "CR | CS | BS | DSS | VS | ATC")
+		kernel   = flag.String("kernel", "lu", "NPB kernel: lu, is, sp, bt, mg, cg")
+		class    = flag.String("class", "B", "problem class: A, B, C")
+		vcs      = flag.Int("vcs", 4, "identical virtual clusters (one VM per node each)")
+		vcpus    = flag.Int("vcpus", 8, "VCPUs per VM")
+		rounds   = flag.Int("rounds", 3, "measured rounds per cluster")
+		slice    = flag.Float64("slice", 0, "fixed time slice in ms (0 = scheduler default)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		horizon  = flag.Float64("horizon", 1200, "virtual-time budget in seconds")
+		hogs     = flag.Int("hogs", 0, "CPU-hog non-parallel VMs per node")
+		trace    = flag.String("trace", "", "write a scheduling trace: 'summary', 'text:<file>' or 'csv:<file>'")
+		traceCap = flag.Int("tracecap", 200000, "max trace records retained (ring)")
+	)
+	flag.Parse()
+
+	if *specFile != "" {
+		f, err := os.Open(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err := scenario.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		res, err := scenario.Build(spec)
+		if err != nil {
+			fatal(err)
+		}
+		var tracer *vmm.Tracer
+		if *trace != "" {
+			tracer = vmm.NewTracer(*traceCap)
+			res.Scenario.World.SetTracer(tracer)
+		}
+		table, err := res.Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(table.String())
+		if tracer != nil {
+			if err := emitTrace(tracer, *trace); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	var cls workload.Class
+	switch strings.ToUpper(*class) {
+	case "A":
+		cls = workload.ClassA
+	case "B":
+		cls = workload.ClassB
+	case "C":
+		cls = workload.ClassC
+	default:
+		fatal(fmt.Errorf("unknown class %q", *class))
+	}
+
+	cfg := cluster.DefaultConfig(*nodes, cluster.Approach(strings.ToUpper(*schedArg)))
+	cfg.Seed = *seed
+	if *slice > 0 {
+		cfg.Sched.FixedSlice = sim.FromMillis(*slice)
+	}
+	s, err := cluster.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var tracer *vmm.Tracer
+	if *trace != "" {
+		tracer = vmm.NewTracer(*traceCap)
+		s.World.SetTracer(tracer)
+	}
+
+	prof := workload.NPB(*kernel, cls)
+	var runs []*workload.ParallelRun
+	for vc := 0; vc < *vcs; vc++ {
+		vms := s.VirtualCluster(fmt.Sprintf("vc%d", vc), *nodes, *vcpus, nil)
+		runs = append(runs, s.RunParallel(prof, vms, *rounds, false))
+	}
+	for n := 0; n < *nodes; n++ {
+		for h := 0; h < *hogs; h++ {
+			vm := s.IndependentVM(fmt.Sprintf("hog%d-%d", n, h), n, *vcpus, vmm.ClassNonParallel)
+			for _, v := range vm.VCPUs() {
+				workload.NewCPUJob(s.World.Eng, v, workload.SPECProfiles()[0])
+			}
+		}
+	}
+
+	wall := time.Now()
+	ok := s.Go(sim.FromSeconds(*horizon))
+	elapsed := time.Since(wall)
+
+	fmt.Printf("scenario: %d nodes x %d PCPUs, %d VCs of %d x %d-VCPU VMs, kernel %s, scheduler %s\n",
+		*nodes, cfg.Node.PCPUs, *vcs, *nodes, *vcpus, prof.Name, s.World.Node(0).Scheduler().Name())
+	if !ok {
+		fmt.Println("WARNING: horizon exceeded before all clusters finished")
+	}
+	t := report.New("per-cluster results", "VC", "rounds", "mean exec", "spin latency", "LLC misses")
+	for i, r := range runs {
+		t.Add(fmt.Sprintf("vc%d", i), report.I(r.Rounds()),
+			fmt.Sprintf("%.3fs", r.MeanTime()),
+			r.App.SpinLatencyMean().String(),
+			report.I(r.App.LLCMisses()))
+	}
+	fmt.Println(t.String())
+
+	var ctx, wakes uint64
+	for _, n := range s.World.Nodes() {
+		ctx += n.CtxSwitches()
+		wakes += n.Wakes()
+	}
+	fmt.Printf("virtual time %v, context switches %d, wakes %d, packets %d, events %d (wall %v)\n",
+		s.World.Eng.Now(), ctx, wakes, s.World.Fabric.PacketsSent(), s.World.Eng.Executed(), elapsed.Round(time.Millisecond))
+	if a, isATC := s.World.Node(0).Scheduler().(*atc.Scheduler); isATC {
+		for _, vm := range s.World.Node(0).VMs()[:min(3, len(s.World.Node(0).VMs()))] {
+			fmt.Printf("node0 %s: final ATC slice %v\n", vm.Name(), a.CurrentSlice(vm))
+		}
+	}
+	if tracer != nil {
+		if err := emitTrace(tracer, *trace); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// emitTrace renders the collected trace per the -trace spec.
+func emitTrace(tr *vmm.Tracer, spec string) error {
+	switch {
+	case spec == "summary":
+		fmt.Print(tr.Summary())
+		return nil
+	case strings.HasPrefix(spec, "text:"):
+		f, err := os.Create(strings.TrimPrefix(spec, "text:"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = tr.WriteTo(f)
+		return err
+	case strings.HasPrefix(spec, "csv:"):
+		f, err := os.Create(strings.TrimPrefix(spec, "csv:"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return tr.WriteCSV(f)
+	default:
+		return fmt.Errorf("unknown -trace spec %q (summary | text:<file> | csv:<file>)", spec)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atcsim:", err)
+	os.Exit(1)
+}

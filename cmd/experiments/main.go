@@ -1,0 +1,98 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig10 -scale medium
+//	experiments -all -scale small -format csv
+//
+// Scales: small (quick check), medium (full structure, reduced nodes),
+// full (the paper's 32-node testbed dimensions; slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"atcsched/internal/experiment"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "", "experiment id(s), comma-separated (fig1, fig2, fig5, fig8, euclid, fig9, fig10, fig11, fig12, fig13, fig14, tab1; extensions: score, sens, ablate)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		scale  = flag.String("scale", "small", "small | medium | full")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		format = flag.String("format", "text", "text | csv | markdown")
+		outDir = flag.String("out", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	sc, err := experiment.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	var exps []experiment.Experiment
+	switch {
+	case *all:
+		exps = experiment.All()
+	case *expID != "":
+		for _, id := range strings.Split(*expID, ",") {
+			e, err := experiment.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			exps = append(exps, e)
+		}
+	default:
+		fatal(fmt.Errorf("specify -exp <id> or -all (use -list to enumerate)"))
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Printf("== %s: %s [scale=%s seed=%d]\n", e.ID, e.Title, sc.Name, *seed)
+		tables, err := e.Run(sc, *seed)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		for i, t := range tables {
+			switch *format {
+			case "csv":
+				fmt.Print(t.CSV())
+			case "markdown":
+				fmt.Println(t.Markdown())
+			default:
+				fmt.Println(t.String())
+			}
+			if *outDir != "" {
+				if err := writeCSV(*outDir, fmt.Sprintf("%s_%d.csv", e.ID, i), t.CSV()); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		fmt.Printf("-- %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeCSV(dir, name, csv string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(dir+"/"+name, []byte(csv), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Scaling: the paper's evaluation type A in miniature — grow the
+// virtual-cluster size (one VM per physical node) and watch how each
+// scheduling approach holds up. Balance Scheduling fades with scale,
+// co-scheduling stays node-local, ATC keeps the synchronization overhead
+// down by shortening slices everywhere the spin latency says to.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atcsched"
+	"atcsched/internal/sim"
+)
+
+func main() {
+	approaches := []atcsched.Approach{atcsched.CR, atcsched.BS, atcsched.CS, atcsched.DSS, atcsched.ATC}
+	fmt.Println("cg.B mean execution time (s) on four identical virtual clusters")
+	fmt.Printf("%-6s", "nodes")
+	for _, a := range approaches {
+		fmt.Printf("  %8s", a)
+	}
+	fmt.Println()
+	for _, nodes := range []int{2, 4} {
+		fmt.Printf("%-6d", nodes)
+		for _, a := range approaches {
+			cfg := atcsched.DefaultScenarioConfig(nodes, a)
+			cfg.Seed = 7
+			s, err := atcsched.NewScenario(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			prof := atcsched.NPBProfile("cg", "B")
+			prof.Iterations = 10
+			var runs []interface{ MeanTime() float64 }
+			for vc := 0; vc < 4; vc++ {
+				vms := s.VirtualCluster(fmt.Sprintf("vc%d", vc), nodes, 8, nil)
+				runs = append(runs, s.RunParallel(prof, vms, 2, false))
+			}
+			if !s.Go(1200 * sim.Second) {
+				log.Fatalf("%s/%d nodes: horizon exceeded", a, nodes)
+			}
+			var mean float64
+			for _, r := range runs {
+				mean += r.MeanTime()
+			}
+			fmt.Printf("  %8.3f", mean/float64(len(runs)))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module atcsched
+
+go 1.24

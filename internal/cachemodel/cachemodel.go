@@ -1,0 +1,221 @@
+// Package cachemodel models the last-level cache of a physical CPU well
+// enough to reproduce the paper's Figure 8: below a per-application
+// inflection point (~0.2–0.3 ms) shorter time slices stop helping because
+// every context switch re-cools the incoming VCPU's working set and the
+// refill cost (extra LLC misses, slower execution while cold) cancels the
+// spin-latency win.
+//
+// The model is occupancy-based: each client (a VCPU) owns a working set;
+// the cache tracks how many bytes of each client's set are resident.
+// While a client's resident bytes are below its target it executes at a
+// reduced "cold rate" and refills at the memory-bandwidth rate; bytes it
+// brings in evict other clients' bytes proportionally (an LRU
+// approximation). Misses are counted per client as refilled bytes divided
+// by the line size, mirroring what Xenoprof LLC-miss sampling reports.
+package cachemodel
+
+import (
+	"fmt"
+
+	"atcsched/internal/sim"
+)
+
+// Config parameterizes a Cache.
+type Config struct {
+	// Capacity is the LLC capacity in bytes available to one PCPU.
+	Capacity int64
+	// RefillBytesPerSec is the rate at which a cold working set refills
+	// (memory bandwidth seen by one core).
+	RefillBytesPerSec float64
+	// LineSize is the cache line size in bytes, for miss accounting.
+	LineSize int64
+}
+
+// DefaultConfig models one core's share of a Xeon E5620-era LLC: 3 MiB,
+// ~4 GiB/s per-core refill bandwidth, 64-byte lines.
+func DefaultConfig() Config {
+	return Config{
+		Capacity:          3 << 20,
+		RefillBytesPerSec: 4 << 30,
+		LineSize:          64,
+	}
+}
+
+// Cache models one PCPU's view of the LLC.
+type Cache struct {
+	cfg     Config
+	clients []*Client
+	// resident sums all clients' resident bytes; kept <= cfg.Capacity.
+	resident int64
+	misses   uint64
+	// evictCursor rotates victim selection so eviction is O(victims)
+	// instead of O(clients) per insert.
+	evictCursor int
+}
+
+// Client is one VCPU's footprint in a Cache. Create via NewClient.
+type Client struct {
+	cache *Cache
+	// footprint is the client's working-set size in bytes.
+	footprint int64
+	// coldRate is the relative execution speed while the working set is
+	// cold, in (0, 1]. Cache-insensitive work uses 1.
+	coldRate float64
+	// residentBytes of the working set currently in cache.
+	residentBytes int64
+	misses        uint64
+}
+
+// New returns an empty Cache.
+func New(cfg Config) *Cache {
+	if cfg.Capacity <= 0 || cfg.RefillBytesPerSec <= 0 || cfg.LineSize <= 0 {
+		panic(fmt.Sprintf("cachemodel: invalid config %+v", cfg))
+	}
+	return &Cache{cfg: cfg}
+}
+
+// NewClient registers a workload with the given working-set size and cold
+// execution rate and returns its handle.
+func (c *Cache) NewClient(footprint int64, coldRate float64) *Client {
+	if footprint < 0 {
+		panic("cachemodel: negative footprint")
+	}
+	if coldRate <= 0 || coldRate > 1 {
+		panic("cachemodel: coldRate must be in (0,1]")
+	}
+	cl := &Client{cache: c, footprint: footprint, coldRate: coldRate}
+	c.clients = append(c.clients, cl)
+	return cl
+}
+
+// target is the resident size at which the client runs warm.
+func (cl *Client) target() int64 {
+	if cl.footprint < cl.cache.cfg.Capacity {
+		return cl.footprint
+	}
+	return cl.cache.cfg.Capacity
+}
+
+// Resident returns the client's resident bytes.
+func (cl *Client) Resident() int64 { return cl.residentBytes }
+
+// Warmth returns resident/target in [0,1] (1 for a zero-footprint client).
+func (cl *Client) Warmth() float64 {
+	t := cl.target()
+	if t == 0 {
+		return 1
+	}
+	return float64(cl.residentBytes) / float64(t)
+}
+
+// Misses returns the client's accumulated LLC misses.
+func (cl *Client) Misses() uint64 { return cl.misses }
+
+// Misses returns the cache-wide accumulated LLC misses.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// warmupTime returns how long the client must run before its set is warm.
+func (cl *Client) warmupTime() sim.Time {
+	cold := cl.target() - cl.residentBytes
+	if cold <= 0 {
+		return 0
+	}
+	return sim.Time(float64(cold) / cl.cache.cfg.RefillBytesPerSec * float64(sim.Second))
+}
+
+// TimeFor returns the CPU time the client needs to accomplish `work`
+// units of warm-speed computation, accounting for the current cold phase.
+// It does not mutate state.
+func (c *Cache) TimeFor(cl *Client, work sim.Time) sim.Time {
+	if work <= 0 {
+		return 0
+	}
+	warm := cl.warmupTime()
+	if warm == 0 {
+		return work
+	}
+	workDuringWarm := sim.Time(float64(warm) * cl.coldRate)
+	if work <= workDuringWarm {
+		return sim.Time(float64(work) / cl.coldRate)
+	}
+	return warm + (work - workDuringWarm)
+}
+
+// Advance runs the client for dt of CPU time: it refills the working set,
+// evicts other clients proportionally, counts misses, and returns the
+// warm-equivalent work accomplished. Advance is the inverse of TimeFor:
+// Advance(cl, TimeFor(cl, w)) == w (up to rounding).
+func (c *Cache) Advance(cl *Client, dt sim.Time) sim.Time {
+	if dt <= 0 {
+		return 0
+	}
+	warm := cl.warmupTime()
+	var work sim.Time
+	coldDt := dt
+	if coldDt > warm {
+		coldDt = warm
+	}
+	if coldDt > 0 {
+		loaded := int64(float64(coldDt) / float64(sim.Second) * c.cfg.RefillBytesPerSec)
+		cold := cl.target() - cl.residentBytes
+		if loaded > cold {
+			loaded = cold
+		}
+		c.insert(cl, loaded)
+		work += sim.Time(float64(coldDt) * cl.coldRate)
+	}
+	if dt > warm {
+		work += dt - warm
+	}
+	return work
+}
+
+// insert grants the client `bytes` of residency, evicting others
+// proportionally when the cache is full and counting the refill as
+// misses.
+func (c *Cache) insert(cl *Client, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	m := uint64(bytes / c.cfg.LineSize)
+	cl.misses += m
+	c.misses += m
+	cl.residentBytes += bytes
+	c.resident += bytes
+	over := c.resident - c.cfg.Capacity
+	if over <= 0 {
+		return
+	}
+	// Evict from other clients in rotating order (an LRU-ish victim
+	// rotation, O(victims) per insert); if that's not enough (one client
+	// fills the cache), trim the inserting client too.
+	n := len(c.clients)
+	for scanned := 0; over > 0 && scanned < n; scanned++ {
+		o := c.clients[c.evictCursor%n]
+		c.evictCursor++
+		if o == cl || o.residentBytes == 0 {
+			continue
+		}
+		take := over
+		if take > o.residentBytes {
+			take = o.residentBytes
+		}
+		o.residentBytes -= take
+		c.resident -= take
+		over -= take
+	}
+	if c.resident > c.cfg.Capacity {
+		trim := c.resident - c.cfg.Capacity
+		if trim > cl.residentBytes {
+			trim = cl.residentBytes
+		}
+		cl.residentBytes -= trim
+		c.resident -= trim
+	}
+}
+
+// Flush evicts the client's entire resident set (e.g., VM migration).
+func (c *Cache) Flush(cl *Client) {
+	c.resident -= cl.residentBytes
+	cl.residentBytes = 0
+}

@@ -1,0 +1,253 @@
+package cachemodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"atcsched/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{Capacity: 1 << 20, RefillBytesPerSec: 1 << 30, LineSize: 64}
+}
+
+func TestWarmClientRunsAtFullSpeed(t *testing.T) {
+	c := New(testConfig())
+	cl := c.NewClient(0, 0.5) // zero footprint: always warm
+	work := 10 * sim.Millisecond
+	if got := c.TimeFor(cl, work); got != work {
+		t.Errorf("TimeFor = %v, want %v", got, work)
+	}
+	if got := c.Advance(cl, work); got != work {
+		t.Errorf("Advance = %v, want %v", got, work)
+	}
+	if c.Misses() != 0 {
+		t.Errorf("misses = %d, want 0", c.Misses())
+	}
+}
+
+func TestColdClientSlower(t *testing.T) {
+	c := New(testConfig())
+	cl := c.NewClient(512<<10, 0.5)
+	work := 10 * sim.Millisecond
+	cold := c.TimeFor(cl, work)
+	if cold <= work {
+		t.Fatalf("cold TimeFor = %v, want > %v", cold, work)
+	}
+	// After running long enough to warm up, it should be full speed.
+	c.Advance(cl, cold)
+	if cl.Warmth() < 0.999 {
+		t.Fatalf("Warmth = %v after long run", cl.Warmth())
+	}
+	if got := c.TimeFor(cl, work); got != work {
+		t.Errorf("warm TimeFor = %v, want %v", got, work)
+	}
+	if cl.Misses() == 0 || c.Misses() == 0 {
+		t.Error("refill counted no misses")
+	}
+	// 512 KiB / 64 B = 8192 lines.
+	if cl.Misses() > 8192+1 || cl.Misses() < 8191 {
+		t.Errorf("misses = %d, want ~8192", cl.Misses())
+	}
+}
+
+func TestAdvanceInverseOfTimeFor(t *testing.T) {
+	f := func(footKB uint16, workUS uint16, rateRaw uint8) bool {
+		c := New(testConfig())
+		rate := 0.1 + float64(rateRaw%90)/100
+		cl := c.NewClient(int64(footKB)<<10, rate)
+		work := sim.Time(workUS+1) * sim.Microsecond
+		dt := c.TimeFor(cl, work)
+		got := c.Advance(cl, dt)
+		// Rounding tolerance: 1 microsecond.
+		return math.Abs(float64(got-work)) <= float64(sim.Microsecond)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvictionOnContention(t *testing.T) {
+	c := New(testConfig()) // 1 MiB capacity
+	a := c.NewClient(768<<10, 0.5)
+	b := c.NewClient(768<<10, 0.5)
+	// Warm A fully.
+	c.Advance(a, sim.Second)
+	if a.Warmth() < 0.999 {
+		t.Fatalf("a warmth = %v", a.Warmth())
+	}
+	// Warm B fully; must evict part of A (768+768 KiB > 1 MiB).
+	c.Advance(b, sim.Second)
+	if b.Warmth() < 0.999 {
+		t.Fatalf("b warmth = %v", b.Warmth())
+	}
+	if a.Warmth() > 0.5 {
+		t.Errorf("a warmth = %v after b ran, want significant eviction", a.Warmth())
+	}
+	if c.resident > c.cfg.Capacity {
+		t.Errorf("resident %d exceeds capacity %d", c.resident, c.cfg.Capacity)
+	}
+}
+
+func TestRepeatedSwitchingCausesMisses(t *testing.T) {
+	// The Figure 8 mechanism: two clients ping-ponging on one PCPU incur
+	// misses every switch; fewer switches, fewer misses.
+	run := func(sliceUS int) uint64 {
+		c := New(testConfig())
+		a := c.NewClient(900<<10, 0.5)
+		b := c.NewClient(900<<10, 0.5)
+		total := 20 * sim.Millisecond
+		slice := sim.Time(sliceUS) * sim.Microsecond
+		for done := sim.Time(0); done < total; done += 2 * slice {
+			c.Advance(a, slice)
+			c.Advance(b, slice)
+		}
+		return c.Misses()
+	}
+	fine, coarse := run(100), run(5000)
+	if fine <= coarse {
+		t.Errorf("misses fine=%d, coarse=%d; want more misses at finer slices", fine, coarse)
+	}
+}
+
+func TestFootprintLargerThanCapacity(t *testing.T) {
+	c := New(testConfig())
+	cl := c.NewClient(10<<20, 0.5) // 10 MiB footprint in a 1 MiB cache
+	if cl.target() != c.cfg.Capacity {
+		t.Fatalf("target = %d, want capacity", cl.target())
+	}
+	c.Advance(cl, sim.Second)
+	if cl.residentBytes > c.cfg.Capacity {
+		t.Errorf("resident %d exceeds capacity", cl.residentBytes)
+	}
+	if cl.Warmth() < 0.999 {
+		t.Errorf("warmth = %v, want ~1 at steady state", cl.Warmth())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(testConfig())
+	cl := c.NewClient(256<<10, 0.5)
+	c.Advance(cl, sim.Second)
+	if cl.Resident() == 0 {
+		t.Fatal("not warmed")
+	}
+	c.Flush(cl)
+	if cl.Resident() != 0 {
+		t.Errorf("Resident = %d after Flush", cl.Resident())
+	}
+	if c.resident != 0 {
+		t.Errorf("cache resident = %d after Flush", c.resident)
+	}
+}
+
+func TestZeroAndNegativeInputs(t *testing.T) {
+	c := New(testConfig())
+	cl := c.NewClient(1<<10, 1)
+	if c.TimeFor(cl, 0) != 0 || c.TimeFor(cl, -5) != 0 {
+		t.Error("TimeFor of non-positive work not 0")
+	}
+	if c.Advance(cl, 0) != 0 || c.Advance(cl, -5) != 0 {
+		t.Error("Advance of non-positive dt not 0")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Capacity: 0, RefillBytesPerSec: 1, LineSize: 64},
+		{Capacity: 1, RefillBytesPerSec: 0, LineSize: 64},
+		{Capacity: 1, RefillBytesPerSec: 1, LineSize: 0},
+	} {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	c := New(testConfig())
+	for _, tc := range []struct {
+		foot int64
+		rate float64
+	}{{-1, 0.5}, {1, 0}, {1, 1.5}} {
+		tc := tc
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewClient(%d,%v) did not panic", tc.foot, tc.rate)
+				}
+			}()
+			c.NewClient(tc.foot, tc.rate)
+		}()
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Capacity <= 0 || cfg.RefillBytesPerSec <= 0 || cfg.LineSize <= 0 {
+		t.Fatalf("bad default %+v", cfg)
+	}
+	New(cfg) // must not panic
+}
+
+// Property: resident total never exceeds capacity regardless of the
+// interleaving of client runs.
+func TestCapacityInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := New(testConfig())
+		cls := []*Client{
+			c.NewClient(600<<10, 0.5),
+			c.NewClient(300<<10, 0.7),
+			c.NewClient(2<<20, 0.3),
+		}
+		for _, op := range ops {
+			cl := cls[int(op)%len(cls)]
+			c.Advance(cl, sim.Time(op)*10*sim.Microsecond)
+			if c.resident > c.cfg.Capacity {
+				return false
+			}
+			var sum int64
+			for _, x := range cls {
+				if x.residentBytes < 0 {
+					return false
+				}
+				sum += x.residentBytes
+			}
+			if sum != c.resident {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TimeFor is monotone in work — more work never takes less
+// time — and at least warm-speed (TimeFor(w) >= w).
+func TestTimeForMonotoneProperty(t *testing.T) {
+	f := func(footKB uint16, warmFrac uint8, w1, w2 uint16) bool {
+		c := New(testConfig())
+		cl := c.NewClient(int64(footKB)<<10, 0.5)
+		// Pre-warm a fraction of the set.
+		c.Advance(cl, sim.Time(warmFrac)*20*sim.Microsecond)
+		a := sim.Time(w1) * sim.Microsecond
+		b := sim.Time(w2) * sim.Microsecond
+		if a > b {
+			a, b = b, a
+		}
+		ta, tb := c.TimeFor(cl, a), c.TimeFor(cl, b)
+		return ta <= tb && ta >= a && tb >= b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

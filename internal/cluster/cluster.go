@@ -1,0 +1,272 @@
+// Package cluster assembles whole experiment scenarios: a world of
+// identical nodes under a named scheduling approach, virtual clusters
+// striped across nodes, independent VMs, parallel application runs and
+// non-parallel jobs, and a completion-driven run loop.
+package cluster
+
+import (
+	"fmt"
+
+	"atcsched/internal/netmodel"
+	"atcsched/internal/sched/atc"
+	"atcsched/internal/sched/balance"
+	"atcsched/internal/sched/cosched"
+	"atcsched/internal/sched/credit"
+	"atcsched/internal/sched/dss"
+	"atcsched/internal/sched/hybrid"
+	"atcsched/internal/sched/vslicer"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+	"atcsched/internal/workload"
+)
+
+// Approach names the scheduling policies the paper compares.
+type Approach string
+
+// The compared approaches.
+const (
+	CR  Approach = "CR"  // Xen Credit (baseline)
+	CS  Approach = "CS"  // dynamic co-scheduling
+	BS  Approach = "BS"  // balance scheduling
+	DSS Approach = "DSS" // dynamic switching-frequency scaling
+	VS  Approach = "VS"  // vSlicer microslicing
+	ATC Approach = "ATC" // the paper's adaptive time-slice control
+	// HY is the hybrid scheduling framework from the paper's related
+	// work — an extension baseline, not part of the evaluated set.
+	HY Approach = "HY"
+)
+
+// Approaches returns the paper's six compared approaches, in the
+// paper's comparison order.
+func Approaches() []Approach { return []Approach{CR, BS, CS, DSS, VS, ATC} }
+
+// ExtendedApproaches returns the compared set plus the extension
+// baselines this repository adds.
+func ExtendedApproaches() []Approach { return append(Approaches(), HY) }
+
+// SchedSpec selects and parameterizes a scheduling approach.
+type SchedSpec struct {
+	Kind Approach
+	// FixedSlice, when nonzero, overrides the base (default) time slice —
+	// used by the static sweeps of Figures 5, 8 and 9 with Kind CR.
+	FixedSlice sim.Time
+	// ATCControl overrides the ATC controller parameters (zero value =
+	// paper defaults). Only meaningful for Kind ATC.
+	ATCControl atc.Options
+	// Boost/Steal toggles on the credit core, for ablations. Both
+	// default to on.
+	DisableBoost bool
+	DisableSteal bool
+}
+
+// factory builds the vmm.SchedulerFactory for the spec.
+func (s SchedSpec) factory() (vmm.SchedulerFactory, error) {
+	base := credit.DefaultOptions()
+	if s.FixedSlice != 0 {
+		if s.FixedSlice < 0 {
+			return nil, fmt.Errorf("cluster: negative fixed slice %v", s.FixedSlice)
+		}
+		base.TimeSlice = s.FixedSlice
+	}
+	base.Boost = !s.DisableBoost
+	base.Steal = !s.DisableSteal
+	switch s.Kind {
+	case CR:
+		return credit.Factory(base), nil
+	case CS:
+		o := cosched.DefaultOptions()
+		o.Credit = base
+		return cosched.Factory(o), nil
+	case BS:
+		o := balance.DefaultOptions()
+		o.Credit = base
+		return balance.Factory(o), nil
+	case DSS:
+		o := dss.DefaultOptions()
+		o.Credit = base
+		return dss.Factory(o), nil
+	case VS:
+		o := vslicer.DefaultOptions()
+		o.Credit = base
+		return vslicer.Factory(o), nil
+	case HY:
+		o := hybrid.DefaultOptions()
+		o.Credit = base
+		return hybrid.Factory(o), nil
+	case ATC:
+		o := s.ATCControl
+		if o.Credit.TimeSlice == 0 {
+			o = atc.DefaultOptions()
+			o.AutoDetect = s.ATCControl.AutoDetect
+		}
+		o.Credit.TimeSlice = base.TimeSlice
+		o.Credit.Boost = base.Boost
+		o.Credit.Steal = base.Steal
+		if o.Credit.DefaultWeight == 0 {
+			o.Credit.DefaultWeight = base.DefaultWeight
+		}
+		return atc.Factory(o), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown approach %q", s.Kind)
+	}
+}
+
+// Config parameterizes a scenario.
+type Config struct {
+	Nodes int
+	Node  vmm.NodeConfig
+	Net   netmodel.Config
+	Sched SchedSpec
+	// NonParallelAdminSlice, when nonzero, is applied as the AdminSlice
+	// of every non-parallel VM — the ATC(6ms) variant of §IV-C.
+	NonParallelAdminSlice sim.Time
+	// Seed drives all workload randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns a paper-testbed-like configuration for the given
+// node count and approach.
+func DefaultConfig(nodes int, kind Approach) Config {
+	return Config{
+		Nodes: nodes,
+		Node:  vmm.DefaultNodeConfig(),
+		Net:   netmodel.DefaultConfig(),
+		Sched: SchedSpec{Kind: kind},
+		Seed:  1,
+	}
+}
+
+// Scenario is a world under construction plus its measured runs.
+type Scenario struct {
+	Cfg   Config
+	World *vmm.World
+
+	runs    []*workload.ParallelRun
+	pending int
+	nextVC  int
+}
+
+// New builds the world for cfg.
+func New(cfg Config) (*Scenario, error) {
+	f, err := cfg.Sched.factory()
+	if err != nil {
+		return nil, err
+	}
+	w, err := vmm.NewWorld(cfg.Nodes, cfg.Node, cfg.Net, f)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{Cfg: cfg, World: w}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Scenario {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// VirtualCluster creates nVMs VMs of vcpus VCPUs each, placed round-robin
+// over the given node indices (the paper stripes each VC across nodes),
+// and returns them.
+func (s *Scenario) VirtualCluster(name string, nVMs, vcpus int, nodes []int) []*vmm.VM {
+	if len(nodes) == 0 {
+		nodes = make([]int, s.Cfg.Nodes)
+		for i := range nodes {
+			nodes[i] = i
+		}
+	}
+	vms := make([]*vmm.VM, 0, nVMs)
+	for i := 0; i < nVMs; i++ {
+		n := s.World.Node(nodes[i%len(nodes)])
+		vm := n.NewVM(fmt.Sprintf("%s-%d", name, i), vmm.ClassParallel, vcpus, 0, 1)
+		vms = append(vms, vm)
+	}
+	return vms
+}
+
+// IndependentVM creates one VM outside any virtual cluster.
+func (s *Scenario) IndependentVM(name string, node, vcpus int, class vmm.VMClass) *vmm.VM {
+	vm := s.World.Node(node).NewVM(name, class, vcpus, 0, 1)
+	if class == vmm.ClassNonParallel && s.Cfg.NonParallelAdminSlice > 0 {
+		vm.AdminSlice = s.Cfg.NonParallelAdminSlice
+	}
+	return vm
+}
+
+// RunParallel installs a measured parallel run of profile on the given
+// VMs: the scenario completes when every measured run reaches rounds.
+// With forever set the application keeps re-running afterwards
+// (background load), still counting toward completion at `rounds`.
+func (s *Scenario) RunParallel(profile workload.AppProfile, vms []*vmm.VM, rounds int, forever bool) *workload.ParallelRun {
+	s.nextVC++
+	app := workload.NewBSPApp(profile, vms, s.Cfg.Seed+uint64(s.nextVC)*7919)
+	s.pending++
+	run := workload.NewParallelRun(s.World.Eng, app, rounds, forever, func() {
+		s.pending--
+		if s.pending == 0 {
+			s.World.Stop()
+		}
+	})
+	run.Install()
+	s.runs = append(s.runs, run)
+	return run
+}
+
+// RunBackground installs a parallel application that reruns forever and
+// does not count toward scenario completion — background load for the
+// mixed and non-parallel experiments.
+func (s *Scenario) RunBackground(profile workload.AppProfile, vms []*vmm.VM) *workload.ParallelRun {
+	s.nextVC++
+	app := workload.NewBSPApp(profile, vms, s.Cfg.Seed+uint64(s.nextVC)*7919)
+	run := workload.NewParallelRun(s.World.Eng, app, 1, true, nil)
+	run.Install()
+	return run
+}
+
+// Runs returns the measured parallel runs in creation order.
+func (s *Scenario) Runs() []*workload.ParallelRun { return s.runs }
+
+// GoFor starts the world and runs it for exactly d of virtual time,
+// regardless of measured-run completion — used when the metric is a
+// steady-state rate (RTT, bandwidth, response time).
+func (s *Scenario) GoFor(d sim.Time) {
+	s.World.Start()
+	s.World.RunUntil(d)
+}
+
+// ContinueFor resumes a world stopped by measured-run completion and
+// runs it for d more virtual time, letting steady-state job metrics
+// (throughput, response time) accumulate while the Forever runs keep the
+// load up.
+func (s *Scenario) ContinueFor(d sim.Time) {
+	s.World.Eng.Resume()
+	s.World.RunUntil(s.World.Eng.Now() + d)
+}
+
+// ContinueUntil resumes the world and runs in steps of `step` until done
+// reports true or `cap` more virtual time has elapsed. It returns the
+// final done() value.
+func (s *Scenario) ContinueUntil(done func() bool, step, cap sim.Time) bool {
+	s.World.Eng.Resume()
+	deadline := s.World.Eng.Now() + cap
+	for !done() && s.World.Eng.Now() < deadline {
+		next := s.World.Eng.Now() + step
+		if next > deadline {
+			next = deadline
+		}
+		s.World.RunUntil(next)
+	}
+	return done()
+}
+
+// Go starts the world and drives it until every measured run reaches its
+// target (or the horizon passes — a safety net against pathological
+// schedules). It returns true when all runs completed in time.
+func (s *Scenario) Go(horizon sim.Time) bool {
+	s.World.Start()
+	s.World.RunUntil(horizon)
+	return s.pending == 0
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"testing"
+
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+	"atcsched/internal/workload"
+)
+
+func TestGoForRunsExactDuration(t *testing.T) {
+	cfg := DefaultConfig(1, CR)
+	cfg.Node.PCPUs = 1
+	s := MustNew(cfg)
+	vm := s.IndependentVM("x", 0, 1, vmm.ClassNonParallel)
+	job := workload.NewCPUJob(s.World.Eng, vm.VCPU(0), workload.SPECProfiles()[0])
+	s.GoFor(2 * sim.Second)
+	if now := s.World.Eng.Now(); now != 2*sim.Second {
+		t.Errorf("Now = %v, want exactly 2s", now)
+	}
+	if job.Rounds() < 4 {
+		t.Errorf("rounds = %d, want ~5 in 2s", job.Rounds())
+	}
+}
+
+func TestContinueForAfterCompletion(t *testing.T) {
+	cfg := DefaultConfig(1, CR)
+	cfg.Node.PCPUs = 2
+	s := MustNew(cfg)
+	prof := workload.NPB("ep", workload.ClassA)
+	prof.Iterations = 3
+	run := s.RunParallel(prof, s.VirtualCluster("vc", 1, 2, nil), 1, true)
+	if !s.Go(120 * sim.Second) {
+		t.Fatal("did not complete")
+	}
+	doneAt := s.World.Eng.Now()
+	s.ContinueFor(3 * sim.Second)
+	if got := s.World.Eng.Now(); got != doneAt+3*sim.Second {
+		t.Errorf("continued to %v, want %v", got, doneAt+3*sim.Second)
+	}
+	// Forever run kept going during the extension.
+	if run.Rounds() < 2 {
+		t.Errorf("rounds = %d after ContinueFor", run.Rounds())
+	}
+}
+
+func TestContinueUntilConditionAndCap(t *testing.T) {
+	cfg := DefaultConfig(1, CR)
+	cfg.Node.PCPUs = 1
+	s := MustNew(cfg)
+	vm := s.IndependentVM("x", 0, 1, vmm.ClassNonParallel)
+	job := workload.NewDiskJob(s.World.Eng, vm.VCPU(0))
+	s.GoFor(100 * sim.Millisecond)
+	ok := s.ContinueUntil(func() bool { return job.Requests() >= 20 }, 100*sim.Millisecond, 10*sim.Second)
+	if !ok {
+		t.Fatalf("condition not met (requests=%d)", job.Requests())
+	}
+	// Cap path: an impossible condition stops at the cap.
+	start := s.World.Eng.Now()
+	ok = s.ContinueUntil(func() bool { return false }, 100*sim.Millisecond, 500*sim.Millisecond)
+	if ok {
+		t.Fatal("impossible condition reported met")
+	}
+	if got := s.World.Eng.Now() - start; got != 500*sim.Millisecond {
+		t.Errorf("ran %v past cap, want exactly 500ms", got)
+	}
+}
+
+func TestHYApproachBuilds(t *testing.T) {
+	cfg := DefaultConfig(1, HY)
+	s := MustNew(cfg)
+	if got := s.World.Node(0).Scheduler().Name(); got != "HY" {
+		t.Errorf("Name = %q", got)
+	}
+	if len(ExtendedApproaches()) != len(Approaches())+1 {
+		t.Error("ExtendedApproaches wrong")
+	}
+}
+
+func TestDisableTogglesReachScheduler(t *testing.T) {
+	cfg := DefaultConfig(1, CR)
+	cfg.Sched.DisableBoost = true
+	cfg.Sched.DisableSteal = true
+	s := MustNew(cfg)
+	// Indirect check: the scheduler still works end to end.
+	prof := workload.NPB("ep", workload.ClassA)
+	prof.Iterations = 2
+	run := s.RunParallel(prof, s.VirtualCluster("vc", 1, 2, nil), 1, false)
+	if !s.Go(120 * sim.Second) {
+		t.Fatal("did not complete")
+	}
+	if run.MeanTime() <= 0 {
+		t.Fatal("no timing")
+	}
+}

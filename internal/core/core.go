@@ -1,0 +1,266 @@
+// Package core implements the paper's contribution: the Adaptive
+// Time-slice Control (ATC) model.
+//
+// A Controller tracks, per VM, the average spinlock latency and the time
+// slice of the last three VMM scheduling periods. At each period
+// boundary:
+//
+//   - Algorithm 1 (ComputeSlice) derives the VM's next slice from the
+//     latency trend: shorten (by the coarse step α, or the fine step β
+//     near the minimum threshold) while latency rises — or while it falls
+//     only because the slice was shortened — and relax back toward the
+//     default when the latency has stayed at zero for a full window.
+//   - Algorithm 2 (NodeSlices) takes the per-VM results for one physical
+//     node, assigns every parallel VM the minimum of their computed
+//     slices (fairness + O(N) complexity), and leaves non-parallel VMs at
+//     the administrator-specified slice or the VMM default.
+//
+// The controller is a pure library: it consumes latency samples and emits
+// slice decisions, so the same code drives the simulator's ATC scheduler
+// (internal/sched/atc) and the userspace control daemon (cmd/atcd).
+//
+// Two typos in the paper's Algorithm 1 are resolved as documented in
+// DESIGN.md: line 4's decrement bound uses β (not α), and line 15's
+// growth condition reads "timeSlice_{i-1} + α ≤ DEFAULT".
+package core
+
+import (
+	"fmt"
+
+	"atcsched/internal/sim"
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Default is the VMM's default time slice (Xen Credit: 30 ms).
+	Default sim.Time
+	// MinThreshold is the floor below which slices are never shortened
+	// (§III-B finds 0.3 ms optimal via the Euclidean metric).
+	MinThreshold sim.Time
+	// Alpha is the coarse slice-adjustment step (α > β).
+	Alpha sim.Time
+	// Beta is the fine slice-adjustment step used near the threshold.
+	Beta sim.Time
+	// Window is the number of scheduling periods of history consulted
+	// (the paper uses 3).
+	Window int
+}
+
+// DefaultConfig returns the parameters used throughout the evaluation:
+// 30 ms default, 0.3 ms minimum threshold, α = 6 ms, β = 0.3 ms (aligned with the threshold),
+// 3-period window.
+func DefaultConfig() Config {
+	return Config{
+		Default:      30 * sim.Millisecond,
+		MinThreshold: 300 * sim.Microsecond,
+		Alpha:        6 * sim.Millisecond,
+		Beta:         300 * sim.Microsecond,
+		Window:       3,
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.Default <= 0:
+		return fmt.Errorf("core: Default slice must be positive, got %v", c.Default)
+	case c.MinThreshold <= 0:
+		return fmt.Errorf("core: MinThreshold must be positive, got %v", c.MinThreshold)
+	case c.MinThreshold > c.Default:
+		return fmt.Errorf("core: MinThreshold %v exceeds Default %v", c.MinThreshold, c.Default)
+	case c.Alpha <= 0 || c.Beta <= 0:
+		return fmt.Errorf("core: steps must be positive (α=%v β=%v)", c.Alpha, c.Beta)
+	case c.Alpha <= c.Beta:
+		return fmt.Errorf("core: α (%v) must exceed β (%v)", c.Alpha, c.Beta)
+	case c.Window < 2:
+		return fmt.Errorf("core: window must be at least 2, got %d", c.Window)
+	}
+	return nil
+}
+
+// vmState is one VM's sliding history. Ring buffers hold the last
+// Window samples; index 0 is the oldest.
+type vmState struct {
+	lat   []sim.Time // average spinlock latency per period
+	slice []sim.Time // slice in force per period
+	// observed counts total periods seen, to handle cold start.
+	observed int
+}
+
+// Controller implements ATC for one physical node's VM population.
+type Controller struct {
+	cfg Config
+	vms map[int]*vmState
+}
+
+// NewController returns a Controller; it panics on an invalid Config to
+// surface misconfiguration at construction time.
+func NewController(cfg Config) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Controller{cfg: cfg, vms: make(map[int]*vmState)}
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// state fetches or creates a VM's history, pre-filled with zero latency
+// at the default slice so cold-start behaves like an idle VM.
+func (c *Controller) state(vmID int) *vmState {
+	st, ok := c.vms[vmID]
+	if !ok {
+		st = &vmState{
+			lat:   make([]sim.Time, c.cfg.Window),
+			slice: make([]sim.Time, c.cfg.Window),
+		}
+		for i := range st.slice {
+			st.slice[i] = c.cfg.Default
+		}
+		c.vms[vmID] = st
+	}
+	return st
+}
+
+// Observe records one period's average spinlock latency and the slice
+// that was in force for vmID during that period. Call once per VM per
+// scheduling period, before ComputeSlice/NodeSlices.
+func (c *Controller) Observe(vmID int, avgLatency, sliceInForce sim.Time) {
+	if avgLatency < 0 {
+		panic(fmt.Sprintf("core: negative latency %v", avgLatency))
+	}
+	if sliceInForce <= 0 {
+		panic(fmt.Sprintf("core: non-positive slice %v", sliceInForce))
+	}
+	st := c.state(vmID)
+	copy(st.lat, st.lat[1:])
+	st.lat[len(st.lat)-1] = avgLatency
+	copy(st.slice, st.slice[1:])
+	st.slice[len(st.slice)-1] = sliceInForce
+	st.observed++
+}
+
+// Forget drops a VM's history (VM destroyed or migrated away).
+func (c *Controller) Forget(vmID int) { delete(c.vms, vmID) }
+
+// History returns copies of the latency and slice windows for vmID
+// (oldest first), for diagnostics.
+func (c *Controller) History(vmID int) (lat, slice []sim.Time) {
+	st := c.state(vmID)
+	return append([]sim.Time(nil), st.lat...), append([]sim.Time(nil), st.slice...)
+}
+
+// ComputeSlice is Algorithm 1: the slice vmID should use in the coming
+// scheduling period, derived from the last Window periods of history.
+func (c *Controller) ComputeSlice(vmID int) sim.Time {
+	st := c.state(vmID)
+	w := c.cfg.Window
+	latPrev := st.lat[w-1]  // sLatency_{i-1}
+	latPrev2 := st.lat[w-2] // sLatency_{i-2}
+	latPrev3 := st.lat[w-3] // sLatency_{i-3} (window >= 3; for window 2 reuse oldest)
+	if w < 3 {
+		latPrev3 = st.lat[0]
+	}
+	slicePrev := st.slice[w-1]  // timeSlice_{i-1}
+	slicePrev2 := st.slice[w-2] // timeSlice_{i-2}
+
+	next := slicePrev
+
+	rising := latPrev2 < latPrev
+	fallingDueToShorterSlice := latPrev3 > latPrev2 && latPrev2 > latPrev && slicePrev2 > slicePrev
+	if rising || fallingDueToShorterSlice {
+		switch {
+		case slicePrev > c.cfg.Alpha && slicePrev-c.cfg.Alpha >= c.cfg.MinThreshold:
+			next = slicePrev - c.cfg.Alpha
+		case slicePrev > c.cfg.Beta && slicePrev-c.cfg.Beta >= c.cfg.MinThreshold:
+			next = slicePrev - c.cfg.Beta
+		}
+	}
+
+	// Lines 12-20: latency stayed zero for the whole window → relax the
+	// slice back toward the default.
+	allZero := true
+	for _, l := range st.lat {
+		if l != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		switch {
+		case slicePrev > c.cfg.Default-c.cfg.Alpha:
+			next = c.cfg.Default
+		case slicePrev+c.cfg.Alpha <= c.cfg.Default:
+			next = slicePrev + c.cfg.Alpha
+		default:
+			next = slicePrev + c.cfg.Beta
+		}
+		if next > c.cfg.Default {
+			next = c.cfg.Default
+		}
+	}
+
+	if next < c.cfg.MinThreshold {
+		next = c.cfg.MinThreshold
+	}
+	return next
+}
+
+// VMInfo describes one VM for NodeSlices.
+type VMInfo struct {
+	ID int
+	// Parallel marks VMs running tightly-coupled parallel applications.
+	Parallel bool
+	// AdminSlice, when nonzero, pins a non-parallel VM's slice (the
+	// administrator interface of §III-C). Ignored for parallel VMs.
+	AdminSlice sim.Time
+}
+
+// NodeSlices is Algorithm 2: compute every VM's slice for the coming
+// period on one physical node. All parallel VMs receive the minimum of
+// their Algorithm-1 slices; non-parallel VMs receive their admin slice or
+// the default. With no parallel VMs everything runs at the default.
+func (c *Controller) NodeSlices(vms []VMInfo) map[int]sim.Time {
+	out := make(map[int]sim.Time, len(vms))
+	minSlice := sim.Time(0)
+	for _, vm := range vms {
+		if !vm.Parallel {
+			continue
+		}
+		s := c.ComputeSlice(vm.ID)
+		if minSlice == 0 || s < minSlice {
+			minSlice = s
+		}
+	}
+	for _, vm := range vms {
+		switch {
+		case vm.Parallel && minSlice > 0:
+			out[vm.ID] = minSlice
+		case !vm.Parallel && vm.AdminSlice > 0:
+			out[vm.ID] = vm.AdminSlice
+		default:
+			out[vm.ID] = c.cfg.Default
+		}
+	}
+	return out
+}
+
+// PerVMSlices is the ablation of Algorithm 2's node-level minimum: each
+// parallel VM keeps its own Algorithm-1 slice (DSS-style independence).
+// The paper argues this is worse — a co-resident VM with a longer slice
+// stretches the others' spin latencies — and the "ablate" experiment
+// quantifies it.
+func (c *Controller) PerVMSlices(vms []VMInfo) map[int]sim.Time {
+	out := make(map[int]sim.Time, len(vms))
+	for _, vm := range vms {
+		switch {
+		case vm.Parallel:
+			out[vm.ID] = c.ComputeSlice(vm.ID)
+		case vm.AdminSlice > 0:
+			out[vm.ID] = vm.AdminSlice
+		default:
+			out[vm.ID] = c.cfg.Default
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"fmt"
+
+	"atcsched/internal/core"
+	"atcsched/internal/sim"
+)
+
+// ExampleController_ComputeSlice walks Algorithm 1 through a rising
+// contention episode: each period with increasing spinlock latency
+// shortens the slice by α = 6 ms until the fine β steps take over near
+// the 0.3 ms threshold.
+func ExampleController_ComputeSlice() {
+	ctl := core.NewController(core.DefaultConfig())
+	slice := core.DefaultConfig().Default
+	lat := sim.Time(0)
+	for period := 0; period < 6; period++ {
+		lat += 2 * sim.Millisecond // latency keeps rising
+		ctl.Observe(1, lat, slice)
+		slice = ctl.ComputeSlice(1)
+		fmt.Println(slice)
+	}
+	// Output:
+	// 24.000ms
+	// 18.000ms
+	// 12.000ms
+	// 6.000ms
+	// 5.700ms
+	// 5.400ms
+}
+
+// ExampleController_NodeSlices shows Algorithm 2: both parallel VMs get
+// the minimum of their computed slices; the non-parallel VM keeps the
+// administrator's setting.
+func ExampleController_NodeSlices() {
+	ctl := core.NewController(core.DefaultConfig())
+	// VM 1 under rising contention; VM 2 quiet.
+	for i, lat := range []sim.Time{sim.Millisecond, 2 * sim.Millisecond, 3 * sim.Millisecond} {
+		_ = i
+		ctl.Observe(1, lat, 30*sim.Millisecond)
+		ctl.Observe(2, 500*sim.Microsecond, 30*sim.Millisecond)
+	}
+	slices := ctl.NodeSlices([]core.VMInfo{
+		{ID: 1, Parallel: true},
+		{ID: 2, Parallel: true},
+		{ID: 3, Parallel: false, AdminSlice: 6 * sim.Millisecond},
+	})
+	fmt.Println(slices[1], slices[2], slices[3])
+	// Output: 24.000ms 24.000ms 6.000ms
+}
+
+// ExampleOptimizeThreshold reproduces §III-B's selection of the minimum
+// time-slice threshold from per-application normalized execution times.
+func ExampleOptimizeThreshold() {
+	ms := func(f float64) sim.Time { return sim.Time(f * float64(sim.Millisecond)) }
+	perApp := map[string]map[sim.Time]float64{
+		"lu": {ms(0.5): 0.30, ms(0.3): 0.27, ms(0.1): 0.31},
+		"is": {ms(0.5): 0.20, ms(0.3): 0.17, ms(0.1): 0.22},
+	}
+	best, _, err := core.OptimizeThreshold(perApp)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(best)
+	// Output: 300.000us
+}

@@ -1,0 +1,168 @@
+// Package daemon hosts the reusable logic of cmd/atcd, a userspace
+// Adaptive Time-slice Control daemon. The paper implements ATC inside
+// the Xen scheduler; outside a modified hypervisor the same control loop
+// can run in dom0 userspace — sample per-VM spinlock latency, run
+// Algorithms 1-2 (internal/core), and actuate per-VM slices through
+// whatever knob the platform exposes (Xen's credit scheduler exposes a
+// global tslice_ms; per-VM ratelimits and weights approximate the rest).
+//
+// The daemon is written against two small interfaces so the same loop
+// drives a real actuator, a file-based one, or the in-memory fake used
+// in tests and the demo.
+package daemon
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"atcsched/internal/core"
+	"atcsched/internal/sim"
+)
+
+// VMSample is one VM's state for one scheduling period.
+type VMSample struct {
+	ID int
+	// AvgSpinLatency is the mean guest spinlock latency over the period.
+	AvgSpinLatency sim.Time
+	// Parallel classifies the VM (tightly-coupled parallel application).
+	Parallel bool
+	// AdminSlice, when nonzero, pins a non-parallel VM's slice.
+	AdminSlice sim.Time
+}
+
+// Source provides per-period latency samples (e.g., parsed from a guest
+// agent, xenbus, or a trace file).
+type Source interface {
+	// Sample returns the current period's VM population. io.EOF ends the
+	// control loop cleanly.
+	Sample() ([]VMSample, error)
+}
+
+// Actuator applies the computed slices (e.g., writes hypervisor knobs).
+type Actuator interface {
+	Apply(slices map[int]sim.Time) error
+}
+
+// Daemon wires a Source and an Actuator to the ATC controller.
+type Daemon struct {
+	ctl  *core.Controller
+	src  Source
+	act  Actuator
+	last map[int]sim.Time
+
+	periods uint64
+}
+
+// New builds a daemon; cfg zero-value panics (use core.DefaultConfig()).
+func New(cfg core.Config, src Source, act Actuator) *Daemon {
+	if src == nil || act == nil {
+		panic("daemon: nil source or actuator")
+	}
+	return &Daemon{
+		ctl:  core.NewController(cfg),
+		src:  src,
+		act:  act,
+		last: make(map[int]sim.Time),
+	}
+}
+
+// Controller exposes the underlying controller (diagnostics).
+func (d *Daemon) Controller() *core.Controller { return d.ctl }
+
+// Periods returns how many control periods have executed.
+func (d *Daemon) Periods() uint64 { return d.periods }
+
+// Step executes one control period: sample, observe, decide, actuate.
+// It returns io.EOF when the source is exhausted.
+func (d *Daemon) Step() error {
+	samples, err := d.src.Sample()
+	if err != nil {
+		return err
+	}
+	infos := make([]core.VMInfo, 0, len(samples))
+	for _, s := range samples {
+		inForce, ok := d.last[s.ID]
+		if !ok {
+			inForce = d.ctl.Config().Default
+		}
+		d.ctl.Observe(s.ID, s.AvgSpinLatency, inForce)
+		infos = append(infos, core.VMInfo{ID: s.ID, Parallel: s.Parallel, AdminSlice: s.AdminSlice})
+	}
+	slices := d.ctl.NodeSlices(infos)
+	for id, sl := range slices {
+		d.last[id] = sl
+	}
+	d.periods++
+	return d.act.Apply(slices)
+}
+
+// Run executes Step until the source returns io.EOF or a step fails.
+func (d *Daemon) Run() error {
+	for {
+		if err := d.Step(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// MapActuator records the last applied slices in memory (tests, demo).
+type MapActuator struct {
+	Last map[int]sim.Time
+	// Applies counts Apply calls.
+	Applies uint64
+}
+
+// Apply implements Actuator.
+func (m *MapActuator) Apply(slices map[int]sim.Time) error {
+	if m.Last == nil {
+		m.Last = make(map[int]sim.Time)
+	}
+	for id, sl := range slices {
+		m.Last[id] = sl
+	}
+	m.Applies++
+	return nil
+}
+
+// WriterActuator renders each period's slices as "vm<id> <micros>us"
+// lines — the shape a real deployment would translate into hypervisor
+// calls (e.g., "xl sched-credit -d <dom> -t <tslice>").
+type WriterActuator struct {
+	W io.Writer
+}
+
+// Apply implements Actuator.
+func (w WriterActuator) Apply(slices map[int]sim.Time) error {
+	ids := make([]int, 0, len(slices))
+	for id := range slices {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if _, err := fmt.Fprintf(w.W, "vm%d %.0fus\n", id, slices[id].Micros()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w.W, "--")
+	return err
+}
+
+// SliceSource replays a fixed schedule of periods (tests, demo).
+type SliceSource struct {
+	Periods [][]VMSample
+	i       int
+}
+
+// Sample implements Source.
+func (s *SliceSource) Sample() ([]VMSample, error) {
+	if s.i >= len(s.Periods) {
+		return nil, io.EOF
+	}
+	p := s.Periods[s.i]
+	s.i++
+	return p, nil
+}

@@ -1,0 +1,142 @@
+package daemon
+
+import (
+	"fmt"
+
+	"atcsched/internal/netmodel"
+	"atcsched/internal/sched/credit"
+	"atcsched/internal/sched/extslice"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+	"atcsched/internal/workload"
+)
+
+// SimBackend closes the control loop against a live simulated cluster:
+// the cluster runs under an externally-controlled credit scheduler
+// (internal/sched/extslice); Sample advances the simulation one
+// scheduling period and reads each guest VM's spinlock latency; Apply
+// writes the daemon's slice decisions back into the schedulers. This is
+// the in-repo stand-in for a dom0 deployment where atcd adjusts real
+// hypervisor knobs — the same Daemon code drives both.
+type SimBackend struct {
+	World  *vmm.World
+	period sim.Time
+	// MaxPeriods bounds the run; Sample returns io.EOF... the daemon
+	// loop stops via error from Sample — we use errEOF below.
+	MaxPeriods int
+	periods    int
+	runs       []*workload.ParallelRun
+}
+
+// SimBackendConfig sizes the embedded scenario.
+type SimBackendConfig struct {
+	// Nodes and VCPUsPerVM size the cluster (defaults 2 and 8).
+	Nodes      int
+	VCPUsPerVM int
+	// Clusters is the number of identical virtual clusters (default 4).
+	Clusters int
+	// Kernel/Class pick the application (defaults lu, B).
+	Kernel string
+	Class  workload.Class
+	// MaxPeriods bounds the control loop (default 400 periods = 12 s).
+	MaxPeriods int
+	// Seed drives the workloads.
+	Seed uint64
+}
+
+// NewSimBackend builds the cluster and returns the backend, which
+// implements both Source and Actuator.
+func NewSimBackend(cfg SimBackendConfig) (*SimBackend, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.VCPUsPerVM == 0 {
+		cfg.VCPUsPerVM = 8
+	}
+	if cfg.Clusters == 0 {
+		cfg.Clusters = 4
+	}
+	if cfg.Kernel == "" {
+		cfg.Kernel = "lu"
+	}
+	if cfg.MaxPeriods == 0 {
+		cfg.MaxPeriods = 400
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	ncfg := vmm.DefaultNodeConfig()
+	w, err := vmm.NewWorld(cfg.Nodes, ncfg, netmodel.DefaultConfig(), extslice.Factory(credit.DefaultOptions()))
+	if err != nil {
+		return nil, err
+	}
+	b := &SimBackend{World: w, period: ncfg.SchedPeriod, MaxPeriods: cfg.MaxPeriods}
+	prof := workload.NPB(cfg.Kernel, cfg.Class)
+	for vc := 0; vc < cfg.Clusters; vc++ {
+		var vms []*vmm.VM
+		for i := 0; i < cfg.Nodes; i++ {
+			vms = append(vms, w.Node(i).NewVM(fmt.Sprintf("vc%d-%d", vc, i), vmm.ClassParallel, cfg.VCPUsPerVM, 0, 1))
+		}
+		app := workload.NewBSPApp(prof, vms, cfg.Seed+uint64(vc))
+		run := workload.NewParallelRun(w.Eng, app, 1, true, nil)
+		run.Install()
+		b.runs = append(b.runs, run)
+	}
+	w.Start()
+	return b, nil
+}
+
+// Runs exposes the embedded applications' runners (for measurements).
+func (b *SimBackend) Runs() []*workload.ParallelRun { return b.runs }
+
+// Periods returns the control periods executed so far.
+func (b *SimBackend) Periods() int { return b.periods }
+
+// errDone signals a clean end of the bounded run.
+type errDone struct{}
+
+func (errDone) Error() string { return "sim backend: period budget exhausted" }
+
+// IsDone reports whether err is the backend's clean-termination error.
+func IsDone(err error) bool {
+	_, ok := err.(errDone)
+	return ok
+}
+
+// Sample implements Source: advance one scheduling period and report
+// each guest VM's average spinlock latency.
+func (b *SimBackend) Sample() ([]VMSample, error) {
+	if b.periods >= b.MaxPeriods {
+		return nil, errDone{}
+	}
+	b.periods++
+	b.World.RunUntil(b.World.Eng.Now() + b.period)
+	var out []VMSample
+	for _, vm := range b.World.GuestVMs() {
+		out = append(out, VMSample{
+			ID:             vm.ID(),
+			AvgSpinLatency: vm.SpinMon.SamplePeriod(),
+			Parallel:       vm.Class() == vmm.ClassParallel,
+			AdminSlice:     vm.AdminSlice,
+		})
+	}
+	return out, nil
+}
+
+// Apply implements Actuator: write the slices into every node's
+// scheduler (each node holds only its own VMs; setting a foreign id is
+// harmless).
+func (b *SimBackend) Apply(slices map[int]sim.Time) error {
+	for _, n := range b.World.Nodes() {
+		sched, ok := n.Scheduler().(*extslice.Scheduler)
+		if !ok {
+			return fmt.Errorf("sim backend: node %d scheduler is %T", n.ID(), n.Scheduler())
+		}
+		for _, vm := range n.VMs() {
+			if sl, ok := slices[vm.ID()]; ok {
+				sched.Set(vm.ID(), sl)
+			}
+		}
+	}
+	return nil
+}

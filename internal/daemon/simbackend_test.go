@@ -1,0 +1,100 @@
+package daemon
+
+import (
+	"testing"
+
+	"atcsched/internal/core"
+	"atcsched/internal/sched/extslice"
+	"atcsched/internal/workload"
+)
+
+// runClosedLoop executes the daemon against the sim backend for the
+// given number of periods and returns per-round progress (completed
+// rounds across all clusters) plus the final slice on node 0.
+func runClosedLoop(t *testing.T, periods int, control bool) (rounds int, finalSliceMS float64) {
+	t.Helper()
+	b, err := NewSimBackend(SimBackendConfig{
+		Nodes:      2,
+		VCPUsPerVM: 8,
+		Clusters:   4,
+		Kernel:     "lu",
+		Class:      workload.ClassA,
+		MaxPeriods: periods,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if control {
+		d := New(core.DefaultConfig(), b, b)
+		if err := d.Run(); !IsDone(err) {
+			t.Fatalf("daemon ended with %v", err)
+		}
+	} else {
+		// No daemon: just advance the same amount of virtual time.
+		for {
+			if _, err := b.Sample(); err != nil {
+				if !IsDone(err) {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+	}
+	for _, r := range b.Runs() {
+		rounds += r.Rounds()
+	}
+	vm0 := b.World.Node(0).VMs()[0]
+	sched := b.World.Node(0).Scheduler().(*extslice.Scheduler)
+	return rounds, sched.Current(vm0.ID()).Millis()
+}
+
+func TestClosedLoopDaemonAcceleratesCluster(t *testing.T) {
+	// The whole point of the userspace deployment: the SAME daemon code
+	// that would drive hypervisor knobs, driving the simulated cluster,
+	// must shorten slices and make the parallel applications complete
+	// more rounds than an uncontrolled credit scheduler in the same
+	// virtual time.
+	const periods = 150 // 4.5 virtual seconds
+	withDaemon, slice := runClosedLoop(t, periods, true)
+	withoutDaemon, defSlice := runClosedLoop(t, periods, false)
+	if slice >= 30 {
+		t.Errorf("controlled slice = %vms, want shortened", slice)
+	}
+	if defSlice != 30 {
+		t.Errorf("uncontrolled slice = %vms, want default 30ms", defSlice)
+	}
+	if withDaemon <= withoutDaemon {
+		t.Errorf("rounds with daemon %d <= without %d", withDaemon, withoutDaemon)
+	}
+	t.Logf("closed loop: %d rounds vs %d uncontrolled; final slice %.1fms", withDaemon, withoutDaemon, slice)
+}
+
+func TestSimBackendDefaults(t *testing.T) {
+	b, err := NewSimBackend(SimBackendConfig{Class: workload.ClassA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Runs()) != 4 {
+		t.Errorf("clusters = %d", len(b.Runs()))
+	}
+	s, err := b.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 8 { // 4 clusters x 2 nodes
+		t.Errorf("samples = %d", len(s))
+	}
+	if b.Periods() != 1 {
+		t.Errorf("periods = %d", b.Periods())
+	}
+}
+
+func TestIsDone(t *testing.T) {
+	if !IsDone(errDone{}) {
+		t.Error("errDone not recognized")
+	}
+	if IsDone(nil) {
+		t.Error("nil recognized as done")
+	}
+}

@@ -1,0 +1,71 @@
+// Package diskmodel models a node-local disk for the bonnie++-like
+// workload: a FIFO request queue with a per-request positioning overhead
+// plus size-proportional transfer time. This is enough for Figure 13's
+// finding — disk throughput is essentially scheduler-independent (requests
+// are slow relative to any time slice), which the paper observes for
+// bonnie++ across all approaches.
+package diskmodel
+
+import (
+	"fmt"
+
+	"atcsched/internal/sim"
+)
+
+// Config parameterizes a Disk.
+type Config struct {
+	// BytesPerSec is the sequential transfer rate.
+	BytesPerSec float64
+	// Positioning is the per-request fixed cost (seek + rotation + queue
+	// handling in the driver).
+	Positioning sim.Time
+}
+
+// DefaultConfig models a 7200 RPM-era SATA disk: 100 MB/s, 0.4 ms
+// per-request positioning for the mostly-sequential bonnie++ pattern.
+func DefaultConfig() Config {
+	return Config{BytesPerSec: 100e6, Positioning: 400 * sim.Microsecond}
+}
+
+// Disk is a single FIFO disk.
+type Disk struct {
+	eng      *sim.Engine
+	cfg      Config
+	freeAt   sim.Time
+	requests uint64
+	bytes    uint64
+}
+
+// New returns an idle Disk.
+func New(eng *sim.Engine, cfg Config) *Disk {
+	if cfg.BytesPerSec <= 0 || cfg.Positioning < 0 {
+		panic(fmt.Sprintf("diskmodel: invalid config %+v", cfg))
+	}
+	return &Disk{eng: eng, cfg: cfg}
+}
+
+// Requests returns the number of submitted requests.
+func (d *Disk) Requests() uint64 { return d.requests }
+
+// Bytes returns the total bytes transferred.
+func (d *Disk) Bytes() uint64 { return d.bytes }
+
+// Submit queues a request for size bytes and invokes done on completion.
+func (d *Disk) Submit(size int, done func()) {
+	if size < 0 {
+		panic("diskmodel: negative request size")
+	}
+	d.requests++
+	d.bytes += uint64(size)
+	start := d.eng.Now()
+	if d.freeAt > start {
+		start = d.freeAt
+	}
+	service := d.cfg.Positioning + sim.Time(float64(size)/d.cfg.BytesPerSec*float64(sim.Second))
+	finish := start + service
+	d.freeAt = finish
+	d.eng.At(finish, done)
+}
+
+// BusyUntil returns the virtual time at which the disk drains its queue.
+func (d *Disk) BusyUntil() sim.Time { return d.freeAt }

@@ -1,0 +1,83 @@
+package diskmodel
+
+import (
+	"testing"
+
+	"atcsched/internal/sim"
+)
+
+func TestSingleRequestTiming(t *testing.T) {
+	eng := sim.New()
+	d := New(eng, Config{BytesPerSec: 100e6, Positioning: 400 * sim.Microsecond})
+	var at sim.Time
+	d.Submit(1_000_000, func() { at = eng.Now() }) // 10 ms transfer
+	eng.Run()
+	want := 400*sim.Microsecond + 10*sim.Millisecond
+	if at != want {
+		t.Errorf("completed at %v, want %v", at, want)
+	}
+	if d.Requests() != 1 || d.Bytes() != 1_000_000 {
+		t.Errorf("Requests=%d Bytes=%d", d.Requests(), d.Bytes())
+	}
+}
+
+func TestFIFOSerialization(t *testing.T) {
+	eng := sim.New()
+	d := New(eng, Config{BytesPerSec: 100e6, Positioning: 0})
+	var done []int
+	for i := 0; i < 3; i++ {
+		i := i
+		d.Submit(1_000_000, func() { done = append(done, i) })
+	}
+	eng.Run()
+	if eng.Now() != 30*sim.Millisecond {
+		t.Errorf("queue drained at %v, want 30ms", eng.Now())
+	}
+	for i, v := range done {
+		if v != i {
+			t.Fatalf("completion order %v", done)
+		}
+	}
+}
+
+func TestZeroSizeRequest(t *testing.T) {
+	eng := sim.New()
+	d := New(eng, Config{BytesPerSec: 100e6, Positioning: sim.Millisecond})
+	var at sim.Time
+	d.Submit(0, func() { at = eng.Now() })
+	eng.Run()
+	if at != sim.Millisecond {
+		t.Errorf("zero request at %v, want positioning only", at)
+	}
+}
+
+func TestBusyUntil(t *testing.T) {
+	eng := sim.New()
+	d := New(eng, Config{BytesPerSec: 100e6, Positioning: 0})
+	if d.BusyUntil() != 0 {
+		t.Error("idle disk BusyUntil != 0")
+	}
+	d.Submit(2_000_000, func() {})
+	if d.BusyUntil() != 20*sim.Millisecond {
+		t.Errorf("BusyUntil = %v", d.BusyUntil())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	eng := sim.New()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad config did not panic")
+			}
+		}()
+		New(eng, Config{})
+	}()
+	d := New(eng, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size did not panic")
+		}
+	}()
+	d.Submit(-1, func() {})
+}

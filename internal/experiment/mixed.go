@@ -1,0 +1,275 @@
+package experiment
+
+import (
+	"fmt"
+
+	"atcsched/internal/cluster"
+	"atcsched/internal/report"
+	"atcsched/internal/rng"
+	"atcsched/internal/sim"
+	"atcsched/internal/trace"
+	"atcsched/internal/vmm"
+	"atcsched/internal/workload"
+)
+
+// placer balances VM placement over nodes, striping each virtual
+// cluster across distinct least-loaded nodes (the paper places sibling
+// VMs of a VC on different physical machines).
+type placer struct {
+	load []int
+}
+
+func newPlacer(nodes int) *placer { return &placer{load: make([]int, nodes)} }
+
+// forVC returns nVMs node indices, distinct while possible.
+func (p *placer) forVC(nVMs int) []int {
+	out := make([]int, 0, nVMs)
+	usedThisRound := make(map[int]bool)
+	for len(out) < nVMs {
+		best := -1
+		for n := range p.load {
+			if usedThisRound[n] {
+				continue
+			}
+			if best < 0 || p.load[n] < p.load[best] {
+				best = n
+			}
+		}
+		if best < 0 { // all nodes used this round; start another stripe
+			usedThisRound = make(map[int]bool)
+			continue
+		}
+		usedThisRound[best] = true
+		p.load[best]++
+		out = append(out, best)
+	}
+	return out
+}
+
+// one returns the least-loaded node.
+func (p *placer) one() int {
+	best := 0
+	for n := range p.load {
+		if p.load[n] < p.load[best] {
+			best = n
+		}
+	}
+	p.load[best]++
+	return best
+}
+
+// fig2Result holds one approach's §II-A2 measurements.
+type fig2Result struct {
+	bonnie float64 // MB/s
+	sphinx float64 // seconds per round
+	stream float64 // MB/s
+	ping   float64 // seconds RTT
+}
+
+func runFig2Approach(sc Scale, a cluster.Approach, seed uint64) (fig2Result, error) {
+	cfg := cluster.DefaultConfig(2, a)
+	cfg.Seed = seed
+	s, err := cluster.New(cfg)
+	if err != nil {
+		return fig2Result{}, err
+	}
+	// Three virtual clusters of two VMs each, background NPB load.
+	for vc := 0; vc < 3; vc++ {
+		prof := workload.NPB(workload.NPBKernels()[vc], workload.ClassB)
+		prof.Iterations = iterCount(prof.Iterations, sc.IterScale)
+		s.RunBackground(prof, s.VirtualCluster(fmt.Sprintf("vc%d", vc), 2, sc.VCPUsPerVM, nil))
+	}
+	npA := s.IndependentVM("np-a", 0, sc.VCPUsPerVM, vmm.ClassNonParallel)
+	npB := s.IndependentVM("np-b", 1, sc.VCPUsPerVM, vmm.ClassNonParallel)
+	bonnie := workload.NewDiskJob(s.World.Eng, npA.VCPU(0))
+	sphinx := workload.NewCPUJob(s.World.Eng, npA.VCPU(1), workload.SPECProfiles()[2])
+	stream := workload.NewStreamJob(s.World.Eng, npB.VCPU(0))
+	ping := workload.NewPingJob(s.World.Eng, npB, 1, npA, 2, 10*sim.Millisecond)
+	s.GoFor(40 * sim.Second)
+	return fig2Result{
+		bonnie: bonnie.ThroughputMBps(),
+		sphinx: sphinx.MeanTime(),
+		stream: stream.BandwidthMBps(),
+		ping:   ping.MeanRTT(),
+	}, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Figure 2 — CS impact on non-parallel applications (vs CR)",
+		Run: func(sc Scale, seed uint64) ([]*report.Table, error) {
+			cr, err := runFig2Approach(sc, cluster.CR, seed)
+			if err != nil {
+				return nil, err
+			}
+			cs, err := runFig2Approach(sc, cluster.CS, seed)
+			if err != nil {
+				return nil, err
+			}
+			t := report.New(
+				"Non-parallel metrics under CR and CS (paper: ping RTT 1.75x, sphinx3 1.11x under CS; stream slightly lower; bonnie++ unchanged)",
+				"Application", "Metric", "CR", "CS", "CS/CR")
+			t.Add("bonnie++", "throughput MB/s", report.F2(cr.bonnie), report.F2(cs.bonnie), report.F(cs.bonnie/cr.bonnie))
+			t.Add("sphinx3", "round time s", report.F(cr.sphinx), report.F(cs.sphinx), report.F(cs.sphinx/cr.sphinx))
+			t.Add("stream", "bandwidth MB/s", report.F2(cr.stream), report.F2(cs.stream), report.F(cs.stream/cr.stream))
+			t.Add("ping", "RTT", report.Ms(cr.ping), report.Ms(cs.ping), report.F(cs.ping/cr.ping))
+			return []*report.Table{t}, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Figure 11 — mixed parallel applications on the Table-I tenant layout",
+		Run:   runFig11,
+	})
+
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Figure 12 — parallel performance with non-parallel co-tenants (incl. VS, ATC(6ms))",
+		Run: func(sc Scale, seed uint64) ([]*report.Table, error) {
+			r, err := mixedNonparallel(sc, seed)
+			if err != nil {
+				return nil, err
+			}
+			return []*report.Table{r.parallel}, nil
+		},
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Figure 13 — web server, bonnie++ and stream under all approaches",
+		Run: func(sc Scale, seed uint64) ([]*report.Table, error) {
+			r, err := mixedNonparallel(sc, seed)
+			if err != nil {
+				return nil, err
+			}
+			return []*report.Table{r.ioApps}, nil
+		},
+	})
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Figure 14 — CPU-intensive applications under all approaches",
+		Run: func(sc Scale, seed uint64) ([]*report.Table, error) {
+			r, err := mixedNonparallel(sc, seed)
+			if err != nil {
+				return nil, err
+			}
+			return []*report.Table{r.cpuApps}, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "tab1",
+		Title: "Table I — LLNL Atlas job-size distribution and synthesized layouts",
+		Run: func(sc Scale, seed uint64) ([]*report.Table, error) {
+			t1 := report.New("Table I — share of Atlas jobs by processor count", "Processors", "Share")
+			for _, s := range trace.TableI() {
+				name := report.I(s.Processors)
+				if s.Processors == 0 {
+					name = "others"
+				}
+				t1.Add(name, fmt.Sprintf("%.1f%%", s.Share*100))
+			}
+			layout := trace.PaperLayout()
+			t2 := report.New("Derived §IV-B2 population (128 8-VCPU VMs on 32 nodes)", "Cluster", "VMs", "VCPUs")
+			for _, c := range layout.Clusters {
+				t2.Add(c.Name, report.I(c.VMs), report.I(c.VMs*8))
+			}
+			t2.Add("independent", report.I(layout.Independent), report.I(layout.Independent*8))
+			scaled, err := trace.ScaledLayout(4 * sc.MixNodes)
+			if err != nil {
+				return nil, err
+			}
+			t3 := report.New(fmt.Sprintf("Scaled layout used at %q scale (%d VMs)", sc.Name, scaled.TotalVMs()),
+				"Cluster", "VMs")
+			for _, c := range scaled.Clusters {
+				t3.Add(c.Name, report.I(c.VMs))
+			}
+			t3.Add("independent", report.I(scaled.Independent))
+			return []*report.Table{t1, t2, t3}, nil
+		},
+	})
+}
+
+// mixedLayout builds the trace-driven scenario shared by Figures 11-14:
+// the virtual clusters (with their kernels) and the independent VMs.
+func mixedLayout(sc Scale, seed uint64) (trace.Layout, []string, error) {
+	layout, err := trace.ScaledLayout(4 * sc.MixNodes)
+	if err != nil {
+		return trace.Layout{}, nil, err
+	}
+	src := rng.NewStream(seed, 0x11)
+	kernels := make([]string, len(layout.Clusters))
+	all := workload.NPBKernels()
+	for i := range kernels {
+		kernels[i] = all[src.Intn(len(all))]
+	}
+	return layout, kernels, nil
+}
+
+// runFig11 measures every virtual cluster (and two independent VMs
+// running single-VM lu/is) under CR, BS, CS, DSS and ATC.
+func runFig11(sc Scale, seed uint64) ([]*report.Table, error) {
+	layout, kernels, err := mixedLayout(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	approaches := []cluster.Approach{cluster.CR, cluster.BS, cluster.CS, cluster.DSS, cluster.ATC}
+	// results[approach][entity] = mean exec seconds.
+	results := make(map[cluster.Approach][]float64)
+	var names []string
+	for _, a := range approaches {
+		cfg := cluster.DefaultConfig(sc.MixNodes, a)
+		cfg.Seed = seed
+		s, err := cluster.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pl := newPlacer(sc.MixNodes)
+		var runs []*workload.ParallelRun
+		var rowNames []string
+		for i, vc := range layout.Clusters {
+			prof := workload.NPB(kernels[i], workload.ClassB)
+			prof.Iterations = iterCount(prof.Iterations, sc.IterScale)
+			vms := s.VirtualCluster(vc.Name, vc.VMs, sc.VCPUsPerVM, pl.forVC(vc.VMs))
+			runs = append(runs, s.RunParallel(prof, vms, sc.Rounds, true))
+			rowNames = append(rowNames, fmt.Sprintf("%s(%s)", vc.Name, kernels[i]))
+		}
+		// Independent VMs run lu.B or is.B alone; measure the first two,
+		// the rest are background.
+		indKernels := []string{"lu", "is"}
+		for i := 0; i < layout.Independent; i++ {
+			k := indKernels[i%2]
+			prof := workload.NPB(k, workload.ClassB)
+			prof.Iterations = iterCount(prof.Iterations, sc.IterScale)
+			vms := []*vmm.VM{s.World.Node(pl.one()).NewVM(fmt.Sprintf("ind%d", i), vmm.ClassParallel, sc.VCPUsPerVM, 0, 1)}
+			if i < 2 {
+				runs = append(runs, s.RunParallel(prof, vms, sc.Rounds, true))
+				rowNames = append(rowNames, fmt.Sprintf("IND%d(%s)", i+1, k))
+			} else {
+				s.RunBackground(prof, vms)
+			}
+		}
+		if !s.Go(sc.Horizon) {
+			return nil, fmt.Errorf("fig11/%s: horizon exceeded", a)
+		}
+		row := make([]float64, len(runs))
+		for i, r := range runs {
+			row[i] = r.MeanTime()
+		}
+		results[a] = row
+		names = rowNames
+	}
+	t := report.New(
+		"Normalized execution time per virtual cluster (vs CR); paper Fig. 11: ATC best everywhere (e.g. VC1 sp: ATC 0.25, DSS 0.45, CS 0.49, BS 0.9)",
+		"Entity", "CR(s)", "BS", "CS", "DSS", "ATC")
+	for i, name := range names {
+		cr := results[cluster.CR][i]
+		t.Add(name, report.F(cr),
+			report.F(results[cluster.BS][i]/cr),
+			report.F(results[cluster.CS][i]/cr),
+			report.F(results[cluster.DSS][i]/cr),
+			report.F(results[cluster.ATC][i]/cr))
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"fmt"
+
+	"atcsched/internal/cluster"
+	"atcsched/internal/metrics"
+	"atcsched/internal/report"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+	"atcsched/internal/workload"
+)
+
+// sensGain measures the ATC/CR execution-time gain for one kernel under
+// a mutated model configuration — the sensitivity probe.
+func sensGain(sc Scale, kernel string, seed uint64,
+	mutNode func(*vmm.NodeConfig), mutProf func(*workload.AppProfile)) (float64, error) {
+	run := func(a cluster.Approach) (float64, error) {
+		cfg := cluster.DefaultConfig(2, a)
+		cfg.Seed = seed
+		if mutNode != nil {
+			mutNode(&cfg.Node)
+		}
+		s, err := cluster.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		prof := workload.NPB(kernel, workload.ClassB)
+		prof.Iterations = iterCount(prof.Iterations, sc.IterScale)
+		if mutProf != nil {
+			mutProf(&prof)
+		}
+		var runs []*workload.ParallelRun
+		for vc := 0; vc < 4; vc++ {
+			vms := s.VirtualCluster(fmt.Sprintf("vc%d", vc), 2, sc.VCPUsPerVM, nil)
+			runs = append(runs, s.RunParallel(prof, vms, sc.Rounds, false))
+		}
+		if !s.Go(sc.Horizon) {
+			return 0, fmt.Errorf("sens %s/%s: horizon exceeded", kernel, a)
+		}
+		var times []float64
+		for _, r := range runs {
+			times = append(times, r.MeanTime())
+		}
+		return metrics.Mean(times), nil
+	}
+	cr, err := run(cluster.CR)
+	if err != nil {
+		return 0, err
+	}
+	atcT, err := run(cluster.ATC)
+	if err != nil {
+		return 0, err
+	}
+	return cr / atcT, nil
+}
+
+func init() {
+	register(Experiment{
+		ID: "sens",
+		Title: "Extension — sensitivity of the ATC/CR gain to model constants " +
+			"(how robust is the reproduction to calibration choices?)",
+		Run: func(sc Scale, seed uint64) ([]*report.Table, error) {
+			t := report.New(
+				"ATC/CR execution-time gain for lu.B under perturbed model constants (baseline row first; the qualitative conclusion should survive every row)",
+				"Variant", "ATC/CR gain")
+			type variant struct {
+				name string
+				node func(*vmm.NodeConfig)
+				prof func(*workload.AppProfile)
+			}
+			variants := []variant{
+				{name: "baseline"},
+				{name: "recv-poll 0 (blocking MPI)", prof: func(p *workload.AppProfile) { p.RecvPoll = 0 }},
+				{name: "recv-poll 1ms", prof: func(p *workload.AppProfile) { p.RecvPoll = sim.Millisecond }},
+				{name: "recv-poll forever", prof: func(p *workload.AppProfile) { p.RecvPoll = -1 }},
+				{name: "netback cost x3", node: func(c *vmm.NodeConfig) { c.BackendPacketCost *= 3 }},
+				{name: "ctx-switch cost x4", node: func(c *vmm.NodeConfig) { c.CtxSwitchCost *= 4 }},
+				{name: "half LLC capacity", node: func(c *vmm.NodeConfig) { c.Cache.Capacity /= 2 }},
+				{name: "double wire latency", node: nil, prof: nil}, // handled below
+			}
+			for _, v := range variants {
+				if v.name == "double wire latency" {
+					// Wire latency lives in the net config, not NodeConfig.
+					gain, err := sensGainNet(sc, "lu", seed)
+					if err != nil {
+						return nil, err
+					}
+					t.Add(v.name, report.F2(gain))
+					continue
+				}
+				gain, err := sensGain(sc, "lu", seed, v.node, v.prof)
+				if err != nil {
+					return nil, err
+				}
+				t.Add(v.name, report.F2(gain))
+			}
+			t.AddNote("Gains above 1.5 in every row mean the reproduction's headline does not hinge on any single calibration constant.")
+			return []*report.Table{t}, nil
+		},
+	})
+}
+
+// sensGainNet is the wire-latency variant of sensGain.
+func sensGainNet(sc Scale, kernel string, seed uint64) (float64, error) {
+	run := func(a cluster.Approach) (float64, error) {
+		cfg := cluster.DefaultConfig(2, a)
+		cfg.Seed = seed
+		cfg.Net.WireLatency *= 2
+		s, err := cluster.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		prof := workload.NPB(kernel, workload.ClassB)
+		prof.Iterations = iterCount(prof.Iterations, sc.IterScale)
+		var runs []*workload.ParallelRun
+		for vc := 0; vc < 4; vc++ {
+			vms := s.VirtualCluster(fmt.Sprintf("vc%d", vc), 2, sc.VCPUsPerVM, nil)
+			runs = append(runs, s.RunParallel(prof, vms, sc.Rounds, false))
+		}
+		if !s.Go(sc.Horizon) {
+			return 0, fmt.Errorf("sens-net %s/%s: horizon exceeded", kernel, a)
+		}
+		var times []float64
+		for _, r := range runs {
+			times = append(times, r.MeanTime())
+		}
+		return metrics.Mean(times), nil
+	}
+	cr, err := run(cluster.CR)
+	if err != nil {
+		return 0, err
+	}
+	atcT, err := run(cluster.ATC)
+	if err != nil {
+		return 0, err
+	}
+	return cr / atcT, nil
+}

@@ -1,0 +1,218 @@
+package experiment
+
+import (
+	"fmt"
+
+	"atcsched/internal/cluster"
+	"atcsched/internal/core"
+	"atcsched/internal/metrics"
+	"atcsched/internal/report"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+	"atcsched/internal/workload"
+)
+
+// sweepPoint is one (slice, kernel) measurement from the §II-B setup:
+// two physical nodes, four identical virtual clusters of two big VMs.
+type sweepPoint struct {
+	exec   float64  // mean execution time, seconds
+	spin   sim.Time // mean spinlock latency
+	misses uint64   // LLC misses accumulated by the app VMs
+	ctxsw  uint64   // node context switches
+}
+
+// runSweepPoint measures one kernel at one fixed slice.
+func runSweepPoint(sc Scale, kernel string, class workload.Class, slice sim.Time, seed uint64) (sweepPoint, error) {
+	cfg := cluster.DefaultConfig(2, cluster.CR)
+	cfg.Sched.FixedSlice = slice
+	cfg.Seed = seed
+	s, err := cluster.New(cfg)
+	if err != nil {
+		return sweepPoint{}, err
+	}
+	prof := workload.NPB(kernel, class)
+	prof.Iterations = iterCount(prof.Iterations, sc.IterScale)
+	var runs []*workload.ParallelRun
+	for vc := 0; vc < 4; vc++ {
+		vms := s.VirtualCluster(fmt.Sprintf("vc%d", vc), 2, sc.BigVCPUsPerVM, nil)
+		runs = append(runs, s.RunParallel(prof, vms, sc.Rounds, false))
+	}
+	if !s.Go(sc.Horizon) {
+		return sweepPoint{}, fmt.Errorf("sweep %s slice=%v: horizon exceeded", kernel, slice)
+	}
+	var pt sweepPoint
+	var times []float64
+	var spinSum sim.Time
+	for _, r := range runs {
+		times = append(times, r.MeanTime())
+		spinSum += r.App.SpinLatencyMean()
+		pt.misses += r.App.LLCMisses()
+	}
+	pt.exec = metrics.Mean(times)
+	pt.spin = spinSum / sim.Time(len(runs))
+	for _, n := range s.World.Nodes() {
+		pt.ctxsw += n.CtxSwitches()
+	}
+	return pt, nil
+}
+
+// fig5Kernels trims the kernel list at small scale to keep quick runs
+// quick; medium and full cover all six.
+func fig5Kernels(sc Scale) []string {
+	if sc.Name == "small" {
+		return []string{"lu", "is"}
+	}
+	return workload.NPBKernels()
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Figure 5 — spinlock latency and execution time vs time slice (six kernels)",
+		Run: func(sc Scale, seed uint64) ([]*report.Table, error) {
+			var tables []*report.Table
+			for _, kernel := range fig5Kernels(sc) {
+				t := report.New(
+					fmt.Sprintf("%s.B under CR with fixed slices (paper: both series fall together; Pearson > 0.9)", kernel),
+					"Slice", "Exec(s)", "Normalized", "SpinLatency")
+				var execs, spins []float64
+				var base float64
+				for _, slice := range sc.SliceSweep {
+					pt, err := runSweepPoint(sc, kernel, workload.ClassB, slice, seed)
+					if err != nil {
+						return nil, err
+					}
+					if base == 0 {
+						base = pt.exec
+					}
+					execs = append(execs, pt.exec)
+					spins = append(spins, pt.spin.Seconds())
+					t.Add(slice.String(), report.F(pt.exec), report.F(pt.exec/base), pt.spin.String())
+				}
+				r, err := metrics.Pearson(spins, execs)
+				if err != nil {
+					t.AddNote("Pearson: undefined (%v)", err)
+				} else {
+					t.AddNote("Pearson(spin latency, exec time) = %.3f (paper: > 0.9)", r)
+				}
+				t.AddNote("exec %s   spin %s  (slice 30ms → %v)",
+					report.Spark(execs), report.Spark(spins), sc.SliceSweep[len(sc.SliceSweep)-1])
+				tables = append(tables, t)
+			}
+			return tables, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Figure 8 — short-slice overhead: execution time and LLC misses (class C)",
+		Run: func(sc Scale, seed uint64) ([]*report.Table, error) {
+			tables, _, err := runFig8(sc, seed)
+			return tables, err
+		},
+	})
+
+	register(Experiment{
+		ID:    "euclid",
+		Title: "§III-B — Euclidean metric over candidate minimum-slice thresholds",
+		Run: func(sc Scale, seed uint64) ([]*report.Table, error) {
+			_, perApp, err := runFig8(sc, seed)
+			if err != nil {
+				return nil, err
+			}
+			best, table, err := core.OptimizeThreshold(perApp)
+			if err != nil {
+				return nil, err
+			}
+			t := report.New(
+				"Equation (1) distance to per-application optima (paper: 0.034/0.020/0.018/0.049/0.039/0.069, min at 0.3ms)",
+				"Candidate slice", "D(O,P)")
+			for _, r := range table {
+				t.Add(r.Slice.String(), report.F(r.D))
+			}
+			t.AddNote("Chosen minimum time-slice threshold: %v (paper: 0.3ms)", best)
+			return []*report.Table{t}, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Figure 9 — non-parallel applications vs time slice",
+		Run:   runFig9,
+	})
+}
+
+// runFig8 measures the short-slice sweep for every kernel at class C and
+// returns both the rendered tables and the normalized-exec map the
+// Euclidean optimizer consumes.
+func runFig8(sc Scale, seed uint64) ([]*report.Table, map[string]map[sim.Time]float64, error) {
+	kernels := fig5Kernels(sc)
+	perApp := make(map[string]map[sim.Time]float64)
+	var tables []*report.Table
+	for _, kernel := range kernels {
+		base, err := runSweepPoint(sc, kernel, workload.ClassC, 30*sim.Millisecond, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		t := report.New(
+			fmt.Sprintf("%s.C under CR with short slices (paper: execution time re-inflects below ~0.2ms as LLC misses grow)", kernel),
+			"Slice", "Exec(s)", "Normalized", "SpinLatency", "LLC misses", "CtxSw")
+		t.Add("30.000ms", report.F(base.exec), "1.000", base.spin.String(), report.I(base.misses), report.I(base.ctxsw))
+		perApp[kernel] = make(map[sim.Time]float64)
+		var norms []float64
+		for _, slice := range sc.ShortSweep {
+			pt, err := runSweepPoint(sc, kernel, workload.ClassC, slice, seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			norm := pt.exec / base.exec
+			perApp[kernel][slice] = norm
+			norms = append(norms, norm)
+			t.Add(slice.String(), report.F(pt.exec), report.F(norm), pt.spin.String(), report.I(pt.misses), report.I(pt.ctxsw))
+		}
+		bestIdx := metrics.ArgMin(norms)
+		t.AddNote("Inflection: best slice %v; misses and context switches grow monotonically as slices shrink.",
+			sc.ShortSweep[bestIdx])
+		tables = append(tables, t)
+	}
+	return tables, perApp, nil
+}
+
+// runFig9 reproduces §III-C's study: the §II-A2 layout (two nodes, three
+// background virtual clusters, two non-parallel VMs) under CR with the
+// global slice swept. sphinx3 should slow down, ping should speed up,
+// stream should degrade slightly.
+func runFig9(sc Scale, seed uint64) ([]*report.Table, error) {
+	t := report.New(
+		"Non-parallel applications vs time slice (paper Fig. 9: sphinx3 time grows, ping RTT falls, stream dips slightly)",
+		"Slice", "sphinx3(s)", "ping RTT", "stream MB/s")
+	measure := 30 * sim.Second
+	for _, slice := range sc.SliceSweep {
+		cfg := cluster.DefaultConfig(2, cluster.CR)
+		cfg.Sched.FixedSlice = slice
+		cfg.Seed = seed
+		s, err := cluster.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Three background virtual clusters of two 8-VCPU VMs. Their
+		// ranks spin on receives indefinitely (RecvPoll < 0): the paper's
+		// MPI background burns full CPU at every slice setting, so this
+		// sweep isolates the slice's effect on the non-parallel tenants
+		// rather than modulating the background's CPU appetite.
+		for vc := 0; vc < 3; vc++ {
+			prof := workload.NPB(workload.NPBKernels()[vc%3], workload.ClassB)
+			prof.Iterations = iterCount(prof.Iterations, sc.IterScale)
+			prof.RecvPoll = -1
+			s.RunBackground(prof, s.VirtualCluster(fmt.Sprintf("bg%d", vc), 2, sc.VCPUsPerVM, nil))
+		}
+		npA := s.IndependentVM("np-a", 0, sc.VCPUsPerVM, vmm.ClassNonParallel)
+		npB := s.IndependentVM("np-b", 1, sc.VCPUsPerVM, vmm.ClassNonParallel)
+		sphinx := workload.NewCPUJob(s.World.Eng, npA.VCPU(0), workload.SPECProfiles()[2])
+		stream := workload.NewStreamJob(s.World.Eng, npA.VCPU(1))
+		ping := workload.NewPingJob(s.World.Eng, npB, 0, npA, 2, 10*sim.Millisecond)
+		s.GoFor(measure)
+		t.Add(slice.String(), report.F(sphinx.MeanTime()), report.Ms(ping.MeanRTT()), fmt.Sprintf("%.0f", stream.BandwidthMBps()))
+	}
+	return []*report.Table{t}, nil
+}

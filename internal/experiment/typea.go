@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"fmt"
+
+	"atcsched/internal/cluster"
+	"atcsched/internal/metrics"
+	"atcsched/internal/report"
+	"atcsched/internal/workload"
+)
+
+// typeAExec runs evaluation type A (§IV-B1): four identical virtual
+// clusters, each with one nVCPU VM per node, all running the same
+// kernel; it returns the mean execution time across the four clusters.
+func typeAExec(sc Scale, approach cluster.Approach, kernel string, nodes int, seed uint64) (float64, error) {
+	cfg := cluster.DefaultConfig(nodes, approach)
+	cfg.Seed = seed
+	s, err := cluster.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	prof := workload.NPB(kernel, workload.ClassB)
+	prof.Iterations = iterCount(prof.Iterations, sc.IterScale)
+	var runs []*workload.ParallelRun
+	for vc := 0; vc < 4; vc++ {
+		vms := s.VirtualCluster(fmt.Sprintf("vc%d", vc), nodes, sc.VCPUsPerVM, nil)
+		runs = append(runs, s.RunParallel(prof, vms, sc.Rounds, false))
+	}
+	if !s.Go(sc.Horizon) {
+		return 0, fmt.Errorf("%s/%s/%d nodes: horizon %v exceeded", approach, kernel, nodes, sc.Horizon)
+	}
+	var times []float64
+	for _, r := range runs {
+		times = append(times, r.MeanTime())
+	}
+	return metrics.Mean(times), nil
+}
+
+func iterCount(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 3 {
+		n = 3
+	}
+	return n
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Figure 1 — CR vs CS running lu on growing virtual clusters",
+		Run: func(sc Scale, seed uint64) ([]*report.Table, error) {
+			t := report.New(
+				"Normalized execution time of lu (vs CR at each size); paper: CS degrades from 0.30 at 2 VMs to 0.44 at 32 VMs",
+				"VMs per VC", "CR", "CS", "CS normalized")
+			for _, nodes := range sc.NodeSteps {
+				cr, err := typeAExec(sc, cluster.CR, "lu", nodes, seed)
+				if err != nil {
+					return nil, err
+				}
+				cs, err := typeAExec(sc, cluster.CS, "lu", nodes, seed)
+				if err != nil {
+					return nil, err
+				}
+				t.Add(report.I(nodes), report.F(cr)+"s", report.F(cs)+"s", report.F(cs/cr))
+			}
+			t.AddNote("Shape check: CS < CR everywhere, but CS/CR grows with cluster size (CS lacks scalability).")
+			return []*report.Table{t}, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Figure 10 — six kernels under BS/CS/DSS/ATC vs CR, scaling physical nodes",
+		Run: func(sc Scale, seed uint64) ([]*report.Table, error) {
+			approaches := []cluster.Approach{cluster.BS, cluster.CS, cluster.DSS, cluster.ATC}
+			var tables []*report.Table
+			for _, kernel := range workload.NPBKernels() {
+				t := report.New(
+					fmt.Sprintf("Normalized execution time of %s.B (vs CR at each node count)", kernel),
+					"Nodes", "CR(s)", "BS", "CS", "DSS", "ATC")
+				for _, nodes := range sc.NodeSteps {
+					cr, err := typeAExec(sc, cluster.CR, kernel, nodes, seed)
+					if err != nil {
+						return nil, err
+					}
+					row := []string{report.I(nodes), report.F(cr)}
+					for _, a := range approaches {
+						v, err := typeAExec(sc, a, kernel, nodes, seed)
+						if err != nil {
+							return nil, err
+						}
+						row = append(row, report.F(v/cr))
+					}
+					t.Add(row...)
+				}
+				t.AddNote("Shape check: ATC lowest and flattest; CS between BS and ATC; BS→1 as nodes grow; ATC gains 1.5-10x vs CR.")
+				tables = append(tables, t)
+			}
+			return tables, nil
+		},
+	})
+}

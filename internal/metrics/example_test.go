@@ -1,0 +1,53 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"atcsched/internal/metrics"
+)
+
+// ExampleWelford shows streaming statistics over a latency series.
+func ExampleWelford() {
+	var w metrics.Welford
+	for _, ms := range []float64{1.2, 3.4, 2.2, 8.1, 2.6} {
+		w.Add(ms)
+	}
+	fmt.Printf("n=%d mean=%.2f max=%.1f\n", w.N(), w.Mean(), w.Max())
+	// Output: n=5 mean=3.50 max=8.1
+}
+
+// ExamplePearson reproduces the paper's §II-B methodology: correlating
+// spinlock latency with execution time across a slice sweep.
+func ExamplePearson() {
+	spinLatency := []float64{54.3, 7.9, 1.3, 0.35, 0.15} // ms
+	execTime := []float64{6.1, 0.95, 0.21, 0.14, 0.13}   // s
+	r, err := metrics.Pearson(spinLatency, execTime)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("r = %.3f\n", r)
+	// Output: r = 1.000
+}
+
+// ExampleEuclidean is Equation (1): distance between a candidate
+// setting's normalized execution times and the per-application optima.
+func ExampleEuclidean() {
+	optima := []float64{0.26, 0.17}
+	at03ms := []float64{0.27, 0.17}
+	d, err := metrics.Euclidean(optima, at03ms)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("D = %.3f\n", d)
+	// Output: D = 0.010
+}
+
+// ExampleP2Quantile estimates a tail latency without storing samples.
+func ExampleP2Quantile() {
+	q := metrics.NewP2Quantile(0.99)
+	for i := 0; i < 1000; i++ {
+		q.Add(float64(i % 100)) // uniform 0..99
+	}
+	fmt.Printf("p99 ≈ %.0f\n", q.Value())
+	// Output: p99 ≈ 98
+}

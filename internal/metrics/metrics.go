@@ -1,0 +1,299 @@
+// Package metrics provides the statistics the evaluation harness needs:
+// streaming mean/variance (Welford), min/max tracking, fixed-bucket
+// histograms, Pearson correlation (used by the paper to show spinlock
+// latency tracks performance, §II-B), and the Euclidean closeness metric
+// of Equation (1) used to pick the minimum time-slice threshold (§III-B).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a stream of float64 samples and reports count,
+// mean, variance, and extrema in O(1) memory.
+type Welford struct {
+	n        int64
+	mean     float64
+	m2       float64
+	min, max float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples added.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest sample (0 with no samples).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample (0 with no samples).
+func (w *Welford) Max() float64 { return w.max }
+
+// Sum returns n*mean, the total of all samples.
+func (w *Welford) Sum() float64 { return w.mean * float64(w.n) }
+
+// Reset discards all samples.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// Merge folds other into w (parallel-algorithm form of Welford).
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n := w.n + other.n
+	d := other.mean - w.mean
+	w.m2 += other.m2 + d*d*float64(w.n)*float64(other.n)/float64(n)
+	w.mean += d * float64(other.n) / float64(n)
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+	w.n = n
+}
+
+// Histogram is a fixed-width bucket histogram over [lo, hi); samples
+// outside the range land in saturating under/overflow buckets.
+type Histogram struct {
+	lo, hi  float64
+	width   float64
+	buckets []int64
+	under   int64
+	over    int64
+	total   int64
+	sum     float64
+}
+
+// NewHistogram creates a histogram of n equal buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("metrics: invalid histogram bounds")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]int64, n)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) {
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the mean of recorded samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// NumBuckets returns the bucket count.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Quantile returns an approximate q-quantile (q in [0,1]) assuming
+// within-bucket uniformity. Under/overflow samples pin to lo/hi.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("metrics: quantile out of [0,1]")
+	}
+	if h.total == 0 {
+		return 0
+	}
+	target := q * float64(h.total)
+	cum := float64(h.under)
+	if target <= cum {
+		return h.lo
+	}
+	for i, c := range h.buckets {
+		if cum+float64(c) >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		cum += float64(c)
+	}
+	return h.hi
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y. It
+// returns an error when lengths differ, fewer than two points are given,
+// or either series is constant.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("metrics: need at least 2 points, have %d", len(x))
+	}
+	n := float64(len(x))
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("metrics: constant series has undefined correlation")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Euclidean implements Equation (1) of the paper:
+// D(O,P) = sqrt(sum_i (O_i - P_i)^2), where O_i is the ith application's
+// optimal normalized execution time and P_i its normalized execution time
+// under a candidate setting. Smaller is closer to per-app optimal.
+func Euclidean(o, p []float64) (float64, error) {
+	if len(o) != len(p) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(o), len(p))
+	}
+	var s float64
+	for i := range o {
+		d := o[i] - p[i]
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// Normalize divides each value by base, the paper's "normalized execution
+// time" (ratio to the CR baseline). It panics when base is 0.
+func Normalize(values []float64, base float64) []float64 {
+	if base == 0 {
+		panic("metrics: normalize by zero base")
+	}
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = v / base
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median of xs (0 for an empty slice). xs is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Min returns the minimum of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMin returns the index of the smallest element; it panics on an empty
+// slice. Ties resolve to the earliest index.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		panic("metrics: ArgMin of empty slice")
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

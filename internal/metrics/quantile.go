@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2Quantile estimates a single quantile of a stream in O(1) memory
+// using the P² algorithm (Jain & Chlamtac, 1985). The evaluation uses it
+// for p95/p99 response times, where storing every sample of a long run
+// would be wasteful.
+type P2Quantile struct {
+	p       float64
+	n       int64
+	heights [5]float64 // marker heights
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	incr    [5]float64 // desired position increments per observation
+	init    []float64  // first five samples, sorted lazily
+}
+
+// NewP2Quantile returns an estimator for the p-quantile, p in (0, 1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("metrics: quantile %v out of (0,1)", p))
+	}
+	q := &P2Quantile{p: p}
+	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	q.incr = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q
+}
+
+// P returns the estimated quantile's probability.
+func (q *P2Quantile) P() float64 { return q.p }
+
+// N returns the number of samples observed.
+func (q *P2Quantile) N() int64 { return q.n }
+
+// Add incorporates one sample.
+func (q *P2Quantile) Add(x float64) {
+	q.n++
+	if q.n <= 5 {
+		q.init = append(q.init, x)
+		if q.n == 5 {
+			sort.Float64s(q.init)
+			copy(q.heights[:], q.init)
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+			q.init = nil
+		}
+		return
+	}
+
+	// Find the cell containing x and clamp the extremes.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.incr[i]
+	}
+
+	// Adjust the three middle markers with parabolic interpolation.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+func (q *P2Quantile) parabolic(i int, d float64) float64 {
+	return q.heights[i] + d/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+d)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-d)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+func (q *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return q.heights[i] + d*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// Value returns the current estimate. With fewer than five samples it
+// falls back to the exact small-sample quantile; with none it returns 0.
+func (q *P2Quantile) Value() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if q.n < 5 {
+		c := append([]float64(nil), q.init...)
+		sort.Float64s(c)
+		idx := q.p * float64(len(c)-1)
+		lo := int(math.Floor(idx))
+		hi := int(math.Ceil(idx))
+		frac := idx - float64(lo)
+		return c[lo]*(1-frac) + c[hi]*frac
+	}
+	return q.heights[2]
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"atcsched/internal/rng"
+)
+
+func exactQuantile(xs []float64, p float64) float64 {
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	idx := p * float64(len(c)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	frac := idx - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac
+}
+
+func TestP2AgainstExactUniform(t *testing.T) {
+	src := rng.New(42)
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		q := NewP2Quantile(p)
+		var xs []float64
+		for i := 0; i < 50000; i++ {
+			x := src.Float64() * 100
+			xs = append(xs, x)
+			q.Add(x)
+		}
+		exact := exactQuantile(xs, p)
+		got := q.Value()
+		if math.Abs(got-exact) > 1.5 { // 1.5 of a 0..100 range
+			t.Errorf("p=%v: P2 = %.3f, exact = %.3f", p, got, exact)
+		}
+		if q.N() != 50000 {
+			t.Errorf("N = %d", q.N())
+		}
+		if q.P() != p {
+			t.Errorf("P = %v", q.P())
+		}
+	}
+}
+
+func TestP2AgainstExactExponential(t *testing.T) {
+	// Heavy-tailed input is where P² usually struggles; allow a looser
+	// relative tolerance.
+	src := rng.New(7)
+	q := NewP2Quantile(0.99)
+	var xs []float64
+	for i := 0; i < 100000; i++ {
+		x := src.Exp(10)
+		xs = append(xs, x)
+		q.Add(x)
+	}
+	exact := exactQuantile(xs, 0.99)
+	got := q.Value()
+	if math.Abs(got-exact)/exact > 0.1 {
+		t.Errorf("p99: P2 = %.3f, exact = %.3f", got, exact)
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	if q.Value() != 0 {
+		t.Error("empty estimator not 0")
+	}
+	q.Add(3)
+	if q.Value() != 3 {
+		t.Errorf("single sample = %v", q.Value())
+	}
+	q.Add(1)
+	q.Add(2)
+	if got := q.Value(); got != 2 {
+		t.Errorf("median of {1,2,3} = %v", got)
+	}
+}
+
+func TestP2MonotoneInP(t *testing.T) {
+	// Estimates for increasing p over the same stream must be
+	// non-decreasing.
+	src := rng.New(13)
+	qs := []*P2Quantile{NewP2Quantile(0.25), NewP2Quantile(0.5), NewP2Quantile(0.9), NewP2Quantile(0.99)}
+	for i := 0; i < 20000; i++ {
+		x := src.Normal(50, 10)
+		for _, q := range qs {
+			q.Add(x)
+		}
+	}
+	for i := 1; i < len(qs); i++ {
+		if qs[i].Value() < qs[i-1].Value()-0.5 {
+			t.Errorf("q%.2f=%.2f < q%.2f=%.2f", qs[i].P(), qs[i].Value(), qs[i-1].P(), qs[i-1].Value())
+		}
+	}
+}
+
+func TestP2BoundedByExtremesProperty(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		p := 0.05 + float64(pRaw%90)/100
+		q := NewP2Quantile(p)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			x := float64(r)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			q.Add(x)
+		}
+		v := q.Value()
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestP2PanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.5} {
+		p := p
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v accepted", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}

@@ -1,0 +1,112 @@
+// Package netmodel models the physical interconnect of the testbed: a
+// switched 1 Gbps Ethernet with full bisection bandwidth, one NIC per
+// node. Transmissions serialize on the sender's NIC (and the receiver's),
+// then traverse the wire with a fixed propagation + switching latency.
+// Node-local deliveries bypass the wire; the dom0 software path for those
+// lives in the vmm package.
+package netmodel
+
+import (
+	"fmt"
+
+	"atcsched/internal/sim"
+)
+
+// Config parameterizes a Fabric.
+type Config struct {
+	// BytesPerSec is the per-NIC line rate (default 1 Gbps = 125 MB/s).
+	BytesPerSec float64
+	// WireLatency is the one-way propagation plus switching latency.
+	WireLatency sim.Time
+	// LocalLatency is the node-local loopback latency (shared memory copy).
+	LocalLatency sim.Time
+}
+
+// DefaultConfig matches the paper's testbed network: 1 Gbps Ethernet.
+func DefaultConfig() Config {
+	return Config{
+		BytesPerSec:  125e6,
+		WireLatency:  50 * sim.Microsecond,
+		LocalLatency: 5 * sim.Microsecond,
+	}
+}
+
+// Fabric is the cluster interconnect.
+type Fabric struct {
+	eng       *sim.Engine
+	cfg       Config
+	tx        []sim.Time // per-node NIC transmit-free time
+	rx        []sim.Time // per-node NIC receive-free time
+	sent      uint64
+	delivered uint64
+	wire      uint64 // bytes that crossed the wire
+}
+
+// New creates a fabric connecting `nodes` nodes.
+func New(eng *sim.Engine, nodes int, cfg Config) *Fabric {
+	if nodes <= 0 {
+		panic("netmodel: need at least one node")
+	}
+	if cfg.BytesPerSec <= 0 {
+		panic(fmt.Sprintf("netmodel: invalid bandwidth %v", cfg.BytesPerSec))
+	}
+	return &Fabric{
+		eng: eng,
+		cfg: cfg,
+		tx:  make([]sim.Time, nodes),
+		rx:  make([]sim.Time, nodes),
+	}
+}
+
+// Nodes returns the number of nodes the fabric connects.
+func (f *Fabric) Nodes() int { return len(f.tx) }
+
+// PacketsSent returns the number of Send calls so far.
+func (f *Fabric) PacketsSent() uint64 { return f.sent }
+
+// PacketsDelivered returns the number of completed deliveries.
+func (f *Fabric) PacketsDelivered() uint64 { return f.delivered }
+
+// InFlight returns packets sent but not yet delivered.
+func (f *Fabric) InFlight() uint64 { return f.sent - f.delivered }
+
+// WireBytes returns the bytes that crossed the physical wire (node-local
+// traffic excluded).
+func (f *Fabric) WireBytes() uint64 { return f.wire }
+
+// Send transmits size bytes from node src to node dst, invoking deliver
+// when the last byte arrives at dst's NIC. Node-local sends complete
+// after LocalLatency without using the wire.
+func (f *Fabric) Send(src, dst, size int, deliver func()) {
+	if src < 0 || src >= len(f.tx) || dst < 0 || dst >= len(f.tx) {
+		panic(fmt.Sprintf("netmodel: node out of range src=%d dst=%d nodes=%d", src, dst, len(f.tx)))
+	}
+	if size < 0 {
+		panic("netmodel: negative packet size")
+	}
+	f.sent++
+	wrapped := func() {
+		f.delivered++
+		deliver()
+	}
+	now := f.eng.Now()
+	if src == dst {
+		f.eng.At(now+f.cfg.LocalLatency, wrapped)
+		return
+	}
+	f.wire += uint64(size)
+	serial := sim.Time(float64(size) / f.cfg.BytesPerSec * float64(sim.Second))
+	start := now
+	if f.tx[src] > start {
+		start = f.tx[src]
+	}
+	txDone := start + serial
+	f.tx[src] = txDone
+	arrive := txDone + f.cfg.WireLatency
+	if f.rx[dst] > arrive {
+		arrive = f.rx[dst]
+	}
+	rxDone := arrive // receiver-side serialization is already covered by txDone pacing
+	f.rx[dst] = rxDone + serial/2
+	f.eng.At(rxDone, wrapped)
+}

@@ -1,0 +1,65 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+
+	"atcsched/internal/trace"
+)
+
+func TestEuclidTableConsistent(t *testing.T) {
+	if len(Euclid.CandidatesMS) != len(Euclid.D) {
+		t.Fatal("candidate/D length mismatch")
+	}
+	// The paper's stated minimum D is at 0.3 ms.
+	best := 0
+	for i, d := range Euclid.D {
+		if d < Euclid.D[best] {
+			best = i
+		}
+	}
+	if Euclid.CandidatesMS[best] != Euclid.BestMS {
+		t.Errorf("paper's min D at %v ms, BestMS says %v", Euclid.CandidatesMS[best], Euclid.BestMS)
+	}
+}
+
+func TestFig10QuotedPointsConsistent(t *testing.T) {
+	// §IV-B1: "BS and CS run 566.7% and 253.3% as long as ATC" — verify
+	// the encoded normalized values reproduce those ratios.
+	p := Fig10.LuAt8Nodes
+	if r := p.BS / p.ATC; math.Abs(r-5.667) > 0.01 {
+		t.Errorf("BS/ATC = %v, want 5.667", r)
+	}
+	if r := p.CS / p.ATC; math.Abs(r-2.533) > 0.01 {
+		t.Errorf("CS/ATC = %v, want 2.533", r)
+	}
+	if Fig10.GainMin >= Fig10.GainMax {
+		t.Error("gain band inverted")
+	}
+	if len(Fig10.Ordering) != 5 || Fig10.Ordering[0] != "ATC" {
+		t.Errorf("ordering = %v", Fig10.Ordering)
+	}
+}
+
+func TestTableIMirrorsTracePackage(t *testing.T) {
+	for _, s := range trace.TableI() {
+		if TableI[s.Processors] != s.Share {
+			t.Errorf("share for %d: paperdata %v vs trace %v", s.Processors, TableI[s.Processors], s.Share)
+		}
+	}
+	var sum float64
+	for _, v := range TableI {
+		sum += v
+	}
+	if math.Abs(sum-1) > 0.001 {
+		t.Errorf("shares sum to %v", sum)
+	}
+}
+
+func TestFig11QuotedPoint(t *testing.T) {
+	// ATC must be the best and CR the worst in the quoted VC1 point.
+	p := Fig11VC1SP
+	if !(p.ATC < p.DSS && p.DSS < p.CS && p.CS < p.BS && p.BS < p.CR) {
+		t.Errorf("quoted ordering broken: %+v", p)
+	}
+}

@@ -1,0 +1,176 @@
+// Package report renders experiment results as aligned text tables and
+// CSV, the formats cmd/experiments prints and EXPERIMENTS.md embeds.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes are free-form lines printed under the table.
+	Notes []string
+}
+
+// New creates a table.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; it panics when the cell count mismatches the
+// headers (catching harness bugs at the source).
+func (t *Table) Add(cells ...string) {
+	if len(t.Headers) > 0 && len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("report: row has %d cells, want %d", len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-form note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the aligned table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		line(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes around cells
+// containing commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(c string) string {
+		if strings.ContainsAny(c, ",\"\n") {
+			return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		return c
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	if len(t.Headers) > 0 {
+		b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+		b.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	}
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		b.WriteString("\n" + n + "\n")
+	}
+	return b.String()
+}
+
+// F formats a float with 3 significant decimals.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// F2 formats a float with 2 decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Ms formats seconds as milliseconds with 3 decimals.
+func Ms(seconds float64) string { return fmt.Sprintf("%.3fms", seconds*1e3) }
+
+// I formats an integer.
+func I[T ~int | ~int64 | ~uint64](v T) string { return fmt.Sprintf("%d", v) }
+
+// sparkRunes are the eight block heights of a terminal sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a unicode sparkline scaled to their range —
+// a one-line shape summary for sweep tables. Empty input yields "".
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(values))
+	for i, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		out[i] = sparkRunes[idx]
+	}
+	return string(out)
+}

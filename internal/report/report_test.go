@@ -1,0 +1,117 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.Add("alpha", "1.0")
+	tb.Add("b", "22.5")
+	tb.AddNote("note: %d", 7)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Alignment: "alpha" and "b" rows have value starting at same column.
+	if strings.Index(lines[2], "1.0") != strings.Index(lines[3], "22.5") {
+		t.Errorf("columns unaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "note: 7") {
+		t.Error("missing note")
+	}
+}
+
+func TestAddPanicsOnWidthMismatch(t *testing.T) {
+	tb := New("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row accepted")
+		}
+	}()
+	tb.Add("only-one")
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add(`va"l`, "x,y")
+	csv := tb.CSV()
+	want := "a,b\n\"va\"\"l\",\"x,y\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("T", "h1", "h2")
+	tb.Add("r1", "r2")
+	md := tb.Markdown()
+	for _, frag := range []string{"**T**", "| h1 | h2 |", "|---|---|", "| r1 | r2 |"} {
+		if !strings.Contains(md, frag) {
+			t.Errorf("markdown missing %q:\n%s", frag, md)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Errorf("F = %q", F(1.23456))
+	}
+	if F2(1.236) != "1.24" {
+		t.Errorf("F2 = %q", F2(1.236))
+	}
+	if Ms(0.0123) != "12.300ms" {
+		t.Errorf("Ms = %q", Ms(0.0123))
+	}
+	if I(42) != "42" || I(int64(7)) != "7" || I(uint64(9)) != "9" {
+		t.Error("I broken")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("")
+	if out := tb.String(); out != "" {
+		t.Errorf("empty table output %q", out)
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if Spark(nil) != "" {
+		t.Error("empty spark not empty")
+	}
+	s := Spark([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("spark length = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("spark endpoints = %q", s)
+	}
+	flat := Spark([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat spark = %q", flat)
+		}
+	}
+	// Monotone values produce non-decreasing rune heights.
+	mono := []rune(Spark([]float64{1, 2, 4, 8, 16}))
+	for i := 1; i < len(mono); i++ {
+		if indexOf(mono[i]) < indexOf(mono[i-1]) {
+			t.Errorf("monotone spark decreased: %q", string(mono))
+		}
+	}
+}
+
+func indexOf(r rune) int {
+	for i, s := range []rune("▁▂▃▄▅▆▇█") {
+		if s == r {
+			return i
+		}
+	}
+	return -1
+}

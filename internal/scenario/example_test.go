@@ -1,0 +1,34 @@
+package scenario_test
+
+import (
+	"fmt"
+	"strings"
+
+	"atcsched/internal/scenario"
+)
+
+// Example runs a minimal declarative scenario: one ep.A cluster under
+// ATC (ep has no synchronization, so this completes fast and
+// deterministically).
+func Example() {
+	spec, err := scenario.Load(strings.NewReader(`{
+	  "nodes": 1, "pcpusPerNode": 2,
+	  "scheduler": {"kind": "ATC"},
+	  "virtualClusters": [
+	    {"name": "demo", "vms": 1, "vcpus": 2, "kernel": "ep", "class": "A", "rounds": 1}
+	  ]
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	res, err := scenario.Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	table, err := res.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(strings.Contains(table.String(), "demo"))
+	// Output: true
+}

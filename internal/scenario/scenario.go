@@ -1,0 +1,324 @@
+// Package scenario loads experiment descriptions from JSON and builds
+// runnable cluster scenarios from them — the declarative interface of
+// cmd/atcsim (-f scenario.json). A spec names the platform (nodes,
+// scheduler), the virtual clusters with their kernels, and the
+// non-parallel jobs; Run executes it and renders a result table.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"atcsched/internal/cluster"
+	"atcsched/internal/report"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+	"atcsched/internal/workload"
+)
+
+// Spec is the top-level scenario description.
+type Spec struct {
+	// Nodes is the physical node count (required, >= 1).
+	Nodes int `json:"nodes"`
+	// PCPUsPerNode overrides the default 8 cores per node.
+	PCPUsPerNode int `json:"pcpusPerNode,omitempty"`
+	// Scheduler selects and tunes the approach.
+	Scheduler SchedulerSpec `json:"scheduler"`
+	// Seed drives workload randomness (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// HorizonSec caps the virtual runtime (default 1200).
+	HorizonSec float64 `json:"horizonSec,omitempty"`
+	// VirtualClusters lists the parallel tenants.
+	VirtualClusters []VCSpec `json:"virtualClusters"`
+	// Jobs lists the non-parallel tenants.
+	Jobs []JobSpec `json:"jobs,omitempty"`
+}
+
+// SchedulerSpec selects the VMM scheduling approach.
+type SchedulerSpec struct {
+	// Kind is CR, CS, BS, DSS, VS, ATC or HY.
+	Kind string `json:"kind"`
+	// FixedSliceMs pins the base slice (CR sweeps).
+	FixedSliceMs float64 `json:"fixedSliceMs,omitempty"`
+	// NonParallelAdminSliceMs applies an admin slice to every
+	// non-parallel VM (the ATC(6ms) variant).
+	NonParallelAdminSliceMs float64 `json:"nonParallelAdminSliceMs,omitempty"`
+}
+
+// VCSpec describes one virtual cluster.
+type VCSpec struct {
+	Name string `json:"name"`
+	// VMs and VCPUs size the cluster (defaults: one VM per node, 8).
+	VMs   int `json:"vms,omitempty"`
+	VCPUs int `json:"vcpus,omitempty"`
+	// Kernel and Class pick the application (defaults lu, B). Kernels:
+	// lu, is, sp, bt, mg, cg, ep, ft.
+	Kernel string `json:"kernel,omitempty"`
+	Class  string `json:"class,omitempty"`
+	// Rounds to measure (default 3); Forever keeps it running after.
+	Rounds  int  `json:"rounds,omitempty"`
+	Forever bool `json:"forever,omitempty"`
+	// Background excludes the cluster from completion accounting.
+	Background bool `json:"background,omitempty"`
+}
+
+// JobSpec describes one non-parallel tenant.
+type JobSpec struct {
+	// Type is web, ping, disk, stream, or cpu.
+	Type string `json:"type"`
+	// Name selects the CPU profile for type cpu (gcc, bzip2, sphinx3).
+	Name string `json:"name,omitempty"`
+	// Node hosts the job's (server) VM.
+	Node int `json:"node"`
+	// PeerNode hosts the client/prober VM for web and ping (defaults to
+	// (Node+1) mod nodes).
+	PeerNode *int `json:"peerNode,omitempty"`
+	// IntervalMs is the ping probe spacing (default 10).
+	IntervalMs float64 `json:"intervalMs,omitempty"`
+}
+
+// Load parses and validates a JSON spec.
+func Load(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec and fills defaults.
+func (s *Spec) Validate() error {
+	if s.Nodes < 1 {
+		return fmt.Errorf("scenario: nodes must be >= 1, got %d", s.Nodes)
+	}
+	if s.Scheduler.Kind == "" {
+		s.Scheduler.Kind = "ATC"
+	}
+	valid := map[string]bool{}
+	for _, a := range cluster.ExtendedApproaches() {
+		valid[string(a)] = true
+	}
+	if !valid[strings.ToUpper(s.Scheduler.Kind)] {
+		return fmt.Errorf("scenario: unknown scheduler %q", s.Scheduler.Kind)
+	}
+	if s.Scheduler.FixedSliceMs < 0 || s.Scheduler.NonParallelAdminSliceMs < 0 {
+		return fmt.Errorf("scenario: negative slice override")
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.HorizonSec == 0 {
+		s.HorizonSec = 1200
+	}
+	if s.HorizonSec < 0 {
+		return fmt.Errorf("scenario: negative horizon")
+	}
+	if len(s.VirtualClusters) == 0 && len(s.Jobs) == 0 {
+		return fmt.Errorf("scenario: nothing to run")
+	}
+	names := map[string]bool{}
+	for i := range s.VirtualClusters {
+		vc := &s.VirtualClusters[i]
+		if vc.Name == "" {
+			vc.Name = fmt.Sprintf("vc%d", i)
+		}
+		if names[vc.Name] {
+			return fmt.Errorf("scenario: duplicate cluster name %q", vc.Name)
+		}
+		names[vc.Name] = true
+		if vc.VMs == 0 {
+			vc.VMs = s.Nodes
+		}
+		if vc.VCPUs == 0 {
+			vc.VCPUs = 8
+		}
+		if vc.Kernel == "" {
+			vc.Kernel = "lu"
+		}
+		known := false
+		for _, k := range append(workload.NPBKernels(), workload.ExtraKernels()...) {
+			if vc.Kernel == k {
+				known = true
+			}
+		}
+		if !known {
+			return fmt.Errorf("scenario: cluster %q: unknown kernel %q", vc.Name, vc.Kernel)
+		}
+		if vc.Class == "" {
+			vc.Class = "B"
+		}
+		if vc.Class != "A" && vc.Class != "B" && vc.Class != "C" {
+			return fmt.Errorf("scenario: cluster %q: class must be A, B or C", vc.Name)
+		}
+		if vc.Rounds == 0 {
+			vc.Rounds = 3
+		}
+		if vc.Rounds < 0 || vc.VMs < 1 || vc.VCPUs < 1 {
+			return fmt.Errorf("scenario: cluster %q: bad sizing", vc.Name)
+		}
+	}
+	for i := range s.Jobs {
+		j := &s.Jobs[i]
+		switch j.Type {
+		case "web", "ping", "disk", "stream", "cpu":
+		default:
+			return fmt.Errorf("scenario: job %d: unknown type %q", i, j.Type)
+		}
+		if j.Node < 0 || j.Node >= s.Nodes {
+			return fmt.Errorf("scenario: job %d: node %d out of range", i, j.Node)
+		}
+		if j.PeerNode != nil && (*j.PeerNode < 0 || *j.PeerNode >= s.Nodes) {
+			return fmt.Errorf("scenario: job %d: peer node out of range", i)
+		}
+		if j.Type == "cpu" {
+			found := false
+			for _, p := range workload.SPECProfiles() {
+				if p.Name == j.Name {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("scenario: job %d: unknown cpu profile %q (gcc|bzip2|sphinx3)", i, j.Name)
+			}
+		}
+		if j.IntervalMs < 0 {
+			return fmt.Errorf("scenario: job %d: negative interval", i)
+		}
+		if j.IntervalMs == 0 {
+			j.IntervalMs = 10
+		}
+	}
+	return nil
+}
+
+// Result is a built, runnable scenario plus handles to its metrics.
+type Result struct {
+	Scenario *cluster.Scenario
+	runs     map[string]*workload.ParallelRun
+	webs     []*workload.WebJob
+	pings    []*workload.PingJob
+	disks    []*workload.DiskJob
+	streams  []*workload.StreamJob
+	cpus     []*workload.CPUJob
+	jobNames []string
+	horizon  sim.Time
+	order    []string
+}
+
+// Build constructs the world from the spec.
+func Build(spec *Spec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := cluster.DefaultConfig(spec.Nodes, cluster.Approach(strings.ToUpper(spec.Scheduler.Kind)))
+	cfg.Seed = spec.Seed
+	if spec.PCPUsPerNode > 0 {
+		cfg.Node.PCPUs = spec.PCPUsPerNode
+	}
+	if spec.Scheduler.FixedSliceMs > 0 {
+		cfg.Sched.FixedSlice = sim.FromMillis(spec.Scheduler.FixedSliceMs)
+	}
+	if spec.Scheduler.NonParallelAdminSliceMs > 0 {
+		cfg.NonParallelAdminSlice = sim.FromMillis(spec.Scheduler.NonParallelAdminSliceMs)
+	}
+	s, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Scenario: s,
+		runs:     map[string]*workload.ParallelRun{},
+		horizon:  sim.FromSeconds(spec.HorizonSec),
+	}
+	classOf := map[string]workload.Class{"A": workload.ClassA, "B": workload.ClassB, "C": workload.ClassC}
+	for _, vc := range spec.VirtualClusters {
+		prof := workload.NPB(vc.Kernel, classOf[vc.Class])
+		vms := s.VirtualCluster(vc.Name, vc.VMs, vc.VCPUs, nil)
+		if vc.Background {
+			s.RunBackground(prof, vms)
+			continue
+		}
+		res.runs[vc.Name] = s.RunParallel(prof, vms, vc.Rounds, vc.Forever)
+		res.order = append(res.order, vc.Name)
+	}
+	eng := s.World.Eng
+	for i, j := range spec.Jobs {
+		peer := (j.Node + 1) % spec.Nodes
+		if j.PeerNode != nil {
+			peer = *j.PeerNode
+		}
+		label := fmt.Sprintf("%s%d", j.Type, i)
+		switch j.Type {
+		case "web":
+			server := s.IndependentVM(label+"-srv", j.Node, 2, vmm.ClassNonParallel)
+			client := s.IndependentVM(label+"-cli", peer, 2, vmm.ClassNonParallel)
+			res.webs = append(res.webs, workload.NewWebJob(eng, client, 0, server, 0,
+				20*sim.Millisecond, 2*sim.Millisecond, spec.Seed+uint64(i)))
+		case "ping":
+			client := s.IndependentVM(label+"-cli", peer, 1, vmm.ClassNonParallel)
+			echo := s.IndependentVM(label+"-echo", j.Node, 1, vmm.ClassNonParallel)
+			res.pings = append(res.pings, workload.NewPingJob(eng, client, 0, echo, 0,
+				sim.FromMillis(j.IntervalMs)))
+		case "disk":
+			vm := s.IndependentVM(label, j.Node, 1, vmm.ClassNonParallel)
+			res.disks = append(res.disks, workload.NewDiskJob(eng, vm.VCPU(0)))
+		case "stream":
+			vm := s.IndependentVM(label, j.Node, 1, vmm.ClassNonParallel)
+			res.streams = append(res.streams, workload.NewStreamJob(eng, vm.VCPU(0)))
+		case "cpu":
+			vm := s.IndependentVM(label+"-"+j.Name, j.Node, 1, vmm.ClassNonParallel)
+			for _, p := range workload.SPECProfiles() {
+				if p.Name == j.Name {
+					res.cpus = append(res.cpus, workload.NewCPUJob(eng, vm.VCPU(0), p))
+				}
+			}
+		}
+		res.jobNames = append(res.jobNames, label)
+	}
+	return res, nil
+}
+
+// Run executes the scenario: to measured-cluster completion when there
+// are measured clusters (with the horizon as a safety net), else for a
+// fixed 30 virtual seconds of steady state. It returns the result table.
+func (r *Result) Run() (*report.Table, error) {
+	if len(r.runs) > 0 {
+		if !r.Scenario.Go(r.horizon) {
+			return nil, fmt.Errorf("scenario: horizon %v exceeded before all clusters finished", r.horizon)
+		}
+		r.Scenario.ContinueFor(5 * sim.Second)
+	} else {
+		r.Scenario.GoFor(30 * sim.Second)
+	}
+	t := report.New("scenario results", "entity", "metric", "value")
+	for _, name := range r.order {
+		run := r.runs[name]
+		t.Add(name, "mean exec", fmt.Sprintf("%.3fs", run.MeanTime()))
+		t.Add(name, "spin latency", run.App.SpinLatencyMean().String())
+	}
+	for _, w := range r.webs {
+		t.Add("web", "mean response", report.Ms(w.MeanResponse()))
+		t.Add("web", "p99 response", report.Ms(w.P99Response()))
+	}
+	for _, p := range r.pings {
+		t.Add("ping", "mean RTT", report.Ms(p.MeanRTT()))
+		t.Add("ping", "p99 RTT", report.Ms(p.P99RTT()))
+	}
+	for _, d := range r.disks {
+		t.Add("disk", "throughput", fmt.Sprintf("%.1f MB/s", d.ThroughputMBps()))
+	}
+	for _, st := range r.streams {
+		t.Add("stream", "bandwidth", fmt.Sprintf("%.0f MB/s", st.BandwidthMBps()))
+	}
+	for _, c := range r.cpus {
+		t.Add(c.Profile.Name, "round time", fmt.Sprintf("%.3fs", c.MeanTime()))
+	}
+	return t, nil
+}

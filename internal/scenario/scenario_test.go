@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodSpec = `{
+  "nodes": 2,
+  "pcpusPerNode": 4,
+  "scheduler": {"kind": "ATC"},
+  "seed": 7,
+  "horizonSec": 300,
+  "virtualClusters": [
+    {"name": "vc1", "vms": 2, "vcpus": 4, "kernel": "is", "class": "A", "rounds": 2}
+  ],
+  "jobs": [
+    {"type": "web", "node": 0},
+    {"type": "ping", "node": 0, "intervalMs": 5},
+    {"type": "disk", "node": 1},
+    {"type": "stream", "node": 1},
+    {"type": "cpu", "name": "gcc", "node": 0}
+  ]
+}`
+
+func TestLoadAndRunEndToEnd(t *testing.T) {
+	spec, err := Load(strings.NewReader(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := res.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.String()
+	for _, want := range []string{"vc1", "mean exec", "web", "ping", "disk", "stream", "gcc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("result table missing %q:\n%s", want, out)
+		}
+	}
+	res.Scenario.World.MustAudit()
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	spec, err := Load(strings.NewReader(`{"nodes": 2, "scheduler": {}, "virtualClusters": [{}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := spec.VirtualClusters[0]
+	if vc.Name != "vc0" || vc.VMs != 2 || vc.VCPUs != 8 || vc.Kernel != "lu" || vc.Class != "B" || vc.Rounds != 3 {
+		t.Errorf("defaults = %+v", vc)
+	}
+	if spec.Scheduler.Kind != "ATC" || spec.Seed != 1 || spec.HorizonSec != 1200 {
+		t.Errorf("spec defaults = %+v", spec)
+	}
+}
+
+func TestJobsOnlyScenarioRunsFixedWindow(t *testing.T) {
+	spec, err := Load(strings.NewReader(`{
+	  "nodes": 1, "pcpusPerNode": 2,
+	  "scheduler": {"kind": "CR"},
+	  "jobs": [{"type": "disk", "node": 0}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := res.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "MB/s") {
+		t.Errorf("no throughput row:\n%s", table.String())
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := map[string]string{
+		"zero nodes":      `{"nodes": 0, "scheduler": {}, "virtualClusters": [{}]}`,
+		"bad scheduler":   `{"nodes": 1, "scheduler": {"kind": "ZZ"}, "virtualClusters": [{}]}`,
+		"bad kernel":      `{"nodes": 1, "scheduler": {}, "virtualClusters": [{"kernel": "nope"}]}`,
+		"bad class":       `{"nodes": 1, "scheduler": {}, "virtualClusters": [{"class": "Z"}]}`,
+		"dup name":        `{"nodes": 1, "scheduler": {}, "virtualClusters": [{"name":"a"},{"name":"a"}]}`,
+		"empty":           `{"nodes": 1, "scheduler": {}}`,
+		"bad job type":    `{"nodes": 1, "scheduler": {}, "jobs": [{"type": "teleport", "node": 0}]}`,
+		"job node range":  `{"nodes": 1, "scheduler": {}, "jobs": [{"type": "disk", "node": 5}]}`,
+		"bad cpu profile": `{"nodes": 1, "scheduler": {}, "jobs": [{"type": "cpu", "name": "rustc", "node": 0}]}`,
+		"unknown field":   `{"nodes": 1, "scheduler": {}, "frobnicate": 1, "virtualClusters": [{}]}`,
+		"neg slice":       `{"nodes": 1, "scheduler": {"fixedSliceMs": -2}, "virtualClusters": [{}]}`,
+	}
+	for name, js := range cases {
+		if _, err := Load(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestHYSchedulerAccepted(t *testing.T) {
+	spec, err := Load(strings.NewReader(`{"nodes": 1, "scheduler": {"kind": "HY"}, "virtualClusters": [{"vcpus": 2, "kernel": "ep", "class": "A", "rounds": 1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scenario.World.Node(0).Scheduler().Name(); got != "HY" {
+		t.Errorf("scheduler = %q", got)
+	}
+}

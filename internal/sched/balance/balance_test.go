@@ -1,0 +1,134 @@
+package balance_test
+
+import (
+	"testing"
+
+	"atcsched/internal/sched/balance"
+	"atcsched/internal/sched/credit"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+	"atcsched/internal/vmmtest"
+)
+
+func TestSiblingsPlacedOnDistinctQueues(t *testing.T) {
+	w := vmmtest.World(1, 4, balance.Factory(balance.DefaultOptions()))
+	node := w.Node(0)
+	vmA := node.NewVM("a", vmm.ClassParallel, 4, 0, 1)
+	for _, v := range vmA.VCPUs() {
+		vmmtest.Loop(v, vmm.Compute(10*sim.Millisecond))
+	}
+	// Load the node so queues are non-trivial.
+	for i := 0; i < 2; i++ {
+		hog := node.NewVM("hog", vmm.ClassNonParallel, 2, 0, 1)
+		for _, v := range hog.VCPUs() {
+			vmmtest.Loop(v, vmm.Compute(10*sim.Millisecond))
+		}
+	}
+	w.Start()
+	s := node.Scheduler().(*balance.Scheduler)
+	// Sample: at no instant may a runqueue hold two runnable siblings of
+	// the same VM (running-on-that-PCPU counts too).
+	for ti := sim.Time(0); ti < sim.Second; ti += 777 * sim.Microsecond {
+		w.RunUntil(ti)
+		for q := range node.PCPUs() {
+			count := 0
+			if cur := node.PCPUs()[q].Current(); cur != nil && cur.VM() == vmA {
+				count++
+			}
+			for _, v := range vmA.VCPUs() {
+				d := s.Data(v)
+				if d.Queued && d.Queue == q && v.State() == vmm.StateRunnable {
+					count++
+				}
+			}
+			if count > 1 {
+				t.Fatalf("t=%v: queue %d holds %d siblings", ti, q, count)
+			}
+		}
+	}
+}
+
+func TestFallbackWhenMoreVCPUsThanPCPUs(t *testing.T) {
+	// A VM with more VCPUs than PCPUs cannot satisfy the constraint; BS
+	// must still schedule everything (fall back to least-loaded).
+	w := vmmtest.World(1, 2, balance.Factory(balance.DefaultOptions()))
+	node := w.Node(0)
+	vmA := node.NewVM("wide", vmm.ClassParallel, 4, 0, 1)
+	done := 0
+	for _, v := range vmA.VCPUs() {
+		v.SetProcess(&vmmtest.SeqProc{Actions: []vmm.Action{
+			vmm.Compute(5 * sim.Millisecond),
+		}}, func(*vmm.VCPU) vmm.Process { done++; return nil })
+	}
+	w.Start()
+	w.RunUntil(sim.Second)
+	if done != 4 {
+		t.Errorf("completed = %d/4 VCPUs", done)
+	}
+}
+
+func TestBalanceRaisesCoRunProbability(t *testing.T) {
+	// BS's claim is probabilistic co-scheduling: with siblings forced
+	// onto distinct queues, the two VCPUs of the parallel VM run at the
+	// same time more often than under plain credit on an overloaded node.
+	coRun := func(factory vmm.SchedulerFactory) float64 {
+		w := vmmtest.World(1, 2, factory)
+		node := w.Node(0)
+		vmA := node.NewVM("par", vmm.ClassParallel, 2, 0, 1)
+		for _, v := range vmA.VCPUs() {
+			vmmtest.Loop(v, vmm.Compute(10*sim.Millisecond))
+		}
+		for i := 0; i < 4; i++ {
+			hog := node.NewVM("hog", vmm.ClassNonParallel, 1, 0, 1)
+			vmmtest.Loop(hog.VCPU(0), vmm.Compute(sim.Second))
+		}
+		w.Start()
+		samples, both := 0, 0
+		for ti := sim.Time(0); ti < 3*sim.Second; ti += 997 * sim.Microsecond {
+			w.RunUntil(ti)
+			running := 0
+			for _, v := range vmA.VCPUs() {
+				if v.State() == vmm.StateRunning {
+					running++
+				}
+			}
+			if running >= 1 {
+				samples++
+				if running == 2 {
+					both++
+				}
+			}
+		}
+		if samples == 0 {
+			t.Fatal("parallel VM never ran")
+		}
+		return float64(both) / float64(samples)
+	}
+	bsOpts := balance.DefaultOptions()
+	bsOpts.Credit.Steal = false
+	bs := coRun(balance.Factory(bsOpts))
+	// Adversarial baseline: both siblings pinned to runqueue 0, no
+	// stealing — the serialization BS exists to prevent.
+	colocated := coRun(func(n *vmm.Node) vmm.Scheduler {
+		opts := credit.DefaultOptions()
+		opts.Steal = false
+		s := credit.New(n, opts)
+		s.PlaceQueue = func(v *vmm.VCPU, r vmm.EnqueueReason) int {
+			if v.VM().Name() == "par" {
+				return 0
+			}
+			return v.ID() % len(n.PCPUs())
+		}
+		return s
+	})
+	if bs <= colocated {
+		t.Errorf("co-run fraction BS=%.3f <= colocated=%.3f; balance placement not helping", bs, colocated)
+	}
+}
+
+func TestName(t *testing.T) {
+	w := vmmtest.World(1, 1, balance.Factory(balance.DefaultOptions()))
+	if got := w.Node(0).Scheduler().Name(); got != "BS" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,449 @@
+// Package credit implements Xen's Credit scheduler (the paper's CR
+// baseline): proportional-share credits refilled every 30 ms accounting
+// period and burned at 10 ms ticks, three priority classes (BOOST >
+// UNDER > OVER), per-PCPU runqueues with work-conserving stealing, and
+// wake "tickling" that lets a boosted VCPU preempt a lower-priority one.
+//
+// The other schedulers in atcsched (CS, BS, DSS, VS, ATC) embed this
+// core and override queue placement, slice length, or period behaviour.
+package credit
+
+import (
+	"fmt"
+
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+)
+
+// Priority is a runqueue class.
+type Priority int
+
+// Priority classes, in dispatch order.
+const (
+	PrioBoost Priority = iota
+	PrioUnder
+	PrioOver
+	numPrios
+)
+
+// String returns the priority name.
+func (p Priority) String() string {
+	switch p {
+	case PrioBoost:
+		return "BOOST"
+	case PrioUnder:
+		return "UNDER"
+	case PrioOver:
+		return "OVER"
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}
+
+// Options configures the credit core.
+type Options struct {
+	// TimeSlice is the slice granted per dispatch (Xen default: 30 ms).
+	TimeSlice sim.Time
+	// DefaultWeight is the proportional-share weight per VM (Xen: 256).
+	DefaultWeight int
+	// Boost enables wake boosting (on in stock Xen; off for ablation).
+	Boost bool
+	// Steal enables work-conserving stealing from sibling runqueues.
+	Steal bool
+}
+
+// DefaultOptions returns stock Xen Credit parameters.
+func DefaultOptions() Options {
+	return Options{
+		TimeSlice:     30 * sim.Millisecond,
+		DefaultWeight: 256,
+		Boost:         true,
+		Steal:         true,
+	}
+}
+
+// VCPUData is the credit state attached to each VCPU via SchedData.
+type VCPUData struct {
+	// Credit is the remaining CPU entitlement in sim time units.
+	Credit sim.Time
+	// Charged is the VCPU CPU time already billed against Credit.
+	Charged sim.Time
+	// lastPeriodCPU is the VCPU's CPU time at the previous accounting
+	// period, to detect active VCPUs.
+	lastPeriodCPU sim.Time
+	// Prio is the current runqueue class.
+	Prio Priority
+	// Queue is the PCPU runqueue index the VCPU lives in (home PCPU).
+	Queue int
+	// Queued reports whether the VCPU currently sits in a runqueue.
+	Queued bool
+}
+
+// Scheduler is the credit core. It implements vmm.Scheduler.
+type Scheduler struct {
+	node   *vmm.Node
+	opts   Options
+	queues [][]*vmm.VCPU // [pcpu][pos], each kept sorted by enqueue order within class
+	// weights maps VM id to weight (DefaultWeight when absent).
+	weights map[int]int
+	// creditCap bounds accumulated credit to avoid unbounded hoarding.
+	creditCap sim.Time
+
+	// PlaceQueue, when non-nil, overrides home-queue selection at enqueue
+	// time (used by Balance Scheduling).
+	PlaceQueue func(v *vmm.VCPU, reason vmm.EnqueueReason) int
+
+	// lastCPU remembers each VM's total CPU time at the previous
+	// accounting period, to detect active VMs (Xen distributes credit
+	// only to active domains — an idle dom0 must not absorb supply).
+	lastCPU map[int]sim.Time
+}
+
+// New builds a credit scheduler for node n.
+func New(n *vmm.Node, opts Options) *Scheduler {
+	if opts.TimeSlice <= 0 {
+		panic("credit: non-positive time slice")
+	}
+	if opts.DefaultWeight <= 0 {
+		panic("credit: non-positive weight")
+	}
+	s := &Scheduler{
+		node:    n,
+		opts:    opts,
+		queues:  make([][]*vmm.VCPU, len(n.PCPUs())),
+		weights: make(map[int]int),
+		lastCPU: make(map[int]sim.Time),
+	}
+	return s
+}
+
+// Factory returns a vmm.SchedulerFactory producing credit schedulers.
+func Factory(opts Options) vmm.SchedulerFactory {
+	return func(n *vmm.Node) vmm.Scheduler { return New(n, opts) }
+}
+
+// Name implements vmm.Scheduler.
+func (s *Scheduler) Name() string { return "CR" }
+
+// Node returns the scheduler's node.
+func (s *Scheduler) Node() *vmm.Node { return s.node }
+
+// Options returns the configured options.
+func (s *Scheduler) Options() Options { return s.opts }
+
+// SetWeight overrides one VM's proportional-share weight.
+func (s *Scheduler) SetWeight(vm *vmm.VM, w int) {
+	if w <= 0 {
+		panic("credit: non-positive weight")
+	}
+	s.weights[vm.ID()] = w
+}
+
+func (s *Scheduler) weight(vm *vmm.VM) int {
+	if w, ok := s.weights[vm.ID()]; ok {
+		return w
+	}
+	return s.opts.DefaultWeight
+}
+
+// Data returns the credit state of v, creating it if needed.
+func (s *Scheduler) Data(v *vmm.VCPU) *VCPUData {
+	d, ok := v.SchedData.(*VCPUData)
+	if !ok {
+		d = &VCPUData{Queue: -1}
+		v.SchedData = d
+	}
+	return d
+}
+
+// Register implements vmm.Scheduler.
+func (s *Scheduler) Register(v *vmm.VCPU) {
+	d := s.Data(v)
+	if d.Queue < 0 {
+		// Spread home queues across PCPUs, honoring affinity.
+		d.Queue = v.ID() % len(s.queues)
+		if !v.AllowedOn(d.Queue) {
+			for q := range s.queues {
+				if v.AllowedOn(q) {
+					d.Queue = q
+					break
+				}
+			}
+		}
+	}
+	d.Prio = PrioUnder
+}
+
+// charge bills v's CPU consumption since the last charge against its
+// credit balance.
+func (s *Scheduler) charge(v *vmm.VCPU, d *VCPUData) {
+	cpu := v.CPUTime()
+	if delta := cpu - d.Charged; delta > 0 {
+		d.Credit -= delta
+		if s.creditCap > 0 && d.Credit < -s.creditCap {
+			d.Credit = -s.creditCap
+		}
+		d.Charged = cpu
+	}
+}
+
+// Enqueue implements vmm.Scheduler.
+func (s *Scheduler) Enqueue(v *vmm.VCPU, reason vmm.EnqueueReason) {
+	d := s.Data(v)
+	if d.Queued {
+		panic(fmt.Sprintf("credit: %s enqueued twice", v))
+	}
+	s.charge(v, d)
+	if reason == vmm.EnqueueWake && s.opts.Boost && d.Credit > 0 {
+		d.Prio = PrioBoost
+	} else if d.Prio == PrioBoost && reason == vmm.EnqueuePreempt {
+		// A preempted boost VCPU drops back to its credit class.
+		d.Prio = s.creditPrio(d)
+	} else if d.Prio != PrioBoost {
+		d.Prio = s.creditPrio(d)
+	}
+	q := d.Queue
+	if s.PlaceQueue != nil {
+		q = s.PlaceQueue(v, reason)
+	}
+	if !v.AllowedOn(q) {
+		for cand := range s.queues {
+			if v.AllowedOn(cand) {
+				q = cand
+				break
+			}
+		}
+	}
+	if q < 0 || q >= len(s.queues) {
+		panic(fmt.Sprintf("credit: bad queue %d for %s", q, v))
+	}
+	d.Queue = q
+	d.Queued = true
+	s.queues[q] = s.insertByClass(s.queues[q], v, d.Prio)
+}
+
+// insertByClass appends v at the tail of its priority class.
+func (s *Scheduler) insertByClass(q []*vmm.VCPU, v *vmm.VCPU, prio Priority) []*vmm.VCPU {
+	pos := len(q)
+	for i, o := range q {
+		if s.Data(o).Prio > prio {
+			pos = i
+			break
+		}
+	}
+	q = append(q, nil)
+	copy(q[pos+1:], q[pos:])
+	q[pos] = v
+	return q
+}
+
+// EnqueueFront pushes v at the very head of queue q with BOOST class —
+// used by co-scheduling gang dispatch.
+func (s *Scheduler) EnqueueFront(v *vmm.VCPU, q int) {
+	d := s.Data(v)
+	if d.Queued {
+		panic(fmt.Sprintf("credit: EnqueueFront of queued %s", v))
+	}
+	d.Prio = PrioBoost
+	d.Queue = q
+	d.Queued = true
+	s.queues[q] = append([]*vmm.VCPU{v}, s.queues[q]...)
+}
+
+// Dequeue removes v from its runqueue; it returns false when v was not
+// queued.
+func (s *Scheduler) Dequeue(v *vmm.VCPU) bool {
+	d := s.Data(v)
+	if !d.Queued {
+		return false
+	}
+	q := s.queues[d.Queue]
+	for i, o := range q {
+		if o == v {
+			s.queues[d.Queue] = append(q[:i], q[i+1:]...)
+			d.Queued = false
+			return true
+		}
+	}
+	panic(fmt.Sprintf("credit: %s marked queued but absent from queue %d", v, d.Queue))
+}
+
+// QueueLen returns the length of PCPU q's runqueue.
+func (s *Scheduler) QueueLen(q int) int { return len(s.queues[q]) }
+
+// QueueVMs reports whether queue q contains (or PCPU q runs) a VCPU of
+// vm — the Balance Scheduling predicate.
+func (s *Scheduler) QueueHasSibling(q int, vm *vmm.VM, exclude *vmm.VCPU) bool {
+	if cur := s.node.PCPUs()[q].Current(); cur != nil && cur.VM() == vm && cur != exclude {
+		return true
+	}
+	for _, o := range s.queues[q] {
+		if o.VM() == vm && o != exclude {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Scheduler) creditPrio(d *VCPUData) Priority {
+	if d.Credit > 0 {
+		return PrioUnder
+	}
+	return PrioOver
+}
+
+// PickNext implements vmm.Scheduler: pop the best-class head across the
+// node. The own queue wins ties; a sibling queue's head is stolen only
+// when its class is strictly better (this is how a tickled PCPU ends up
+// running the freshly boosted VCPU even though it was enqueued
+// elsewhere, matching Xen's wake path) or when the own queue is empty.
+func (s *Scheduler) PickNext(p *vmm.PCPU) *vmm.VCPU {
+	own := p.Index()
+	ownPrio := numPrios
+	if len(s.queues[own]) > 0 {
+		ownPrio = s.Data(s.queues[own][0]).Prio
+	}
+	if !s.opts.Steal {
+		return s.popQueue(own, own)
+	}
+	best := -1
+	bestPrio := ownPrio
+	bestLen := 0
+	for q := range s.queues {
+		if q == own || len(s.queues[q]) == 0 {
+			continue
+		}
+		head := s.queues[q][0]
+		if !head.AllowedOn(own) {
+			continue
+		}
+		prio := s.Data(head).Prio
+		if int(prio) < int(bestPrio) || (ownPrio == numPrios && prio == bestPrio && len(s.queues[q]) > bestLen) {
+			best, bestPrio, bestLen = q, prio, len(s.queues[q])
+		}
+	}
+	if best < 0 {
+		return s.popQueue(own, own)
+	}
+	v := s.popQueue(best, own)
+	if v == nil {
+		return s.popQueue(own, own)
+	}
+	s.Data(v).Queue = own // migrate home
+	return v
+}
+
+// popQueue removes and returns the first VCPU in queue q that may run
+// on PCPU `on` (usually on == q; stealing passes the stealer).
+func (s *Scheduler) popQueue(q, on int) *vmm.VCPU {
+	for i, v := range s.queues[q] {
+		if !v.AllowedOn(on) {
+			continue
+		}
+		s.queues[q] = append(s.queues[q][:i:i], s.queues[q][i+1:]...)
+		s.Data(v).Queued = false
+		return v
+	}
+	return nil
+}
+
+// Slice implements vmm.Scheduler.
+func (s *Scheduler) Slice(v *vmm.VCPU) sim.Time { return s.opts.TimeSlice }
+
+// WakePreempts implements vmm.Scheduler: a woken VCPU preempts a PCPU
+// whose current VCPU has a strictly worse class.
+func (s *Scheduler) WakePreempts(p *vmm.PCPU, woken *vmm.VCPU) bool {
+	cur := p.Current()
+	if cur == nil {
+		return true
+	}
+	return s.Data(woken).Prio < s.Data(cur).Prio
+}
+
+// OnTick implements vmm.Scheduler: bill running VCPUs' consumption and
+// retire their BOOST.
+func (s *Scheduler) OnTick(n *vmm.Node) {
+	for _, p := range n.PCPUs() {
+		cur := p.Current()
+		if cur == nil {
+			continue
+		}
+		d := s.Data(cur)
+		s.charge(cur, d)
+		if d.Prio == PrioBoost {
+			d.Prio = s.creditPrio(d)
+		}
+	}
+}
+
+// OnPeriod implements vmm.Scheduler: refill credits proportionally to
+// the weights of the *active* VMs (a VM is active when it consumed CPU
+// since the last period or has runnable work).
+func (s *Scheduler) OnPeriod(n *vmm.Node) {
+	all := append([]*vmm.VM{n.Dom0()}, n.VMs()...)
+	vms := all[:0:0]
+	for _, vm := range all {
+		var cpu sim.Time
+		runnable := false
+		for _, v := range vm.VCPUs() {
+			cpu += v.CPUTime()
+			if st := v.State(); st == vmm.StateRunnable || st == vmm.StateRunning {
+				runnable = true
+			}
+		}
+		if cpu > s.lastCPU[vm.ID()] || runnable {
+			vms = append(vms, vm)
+		}
+		s.lastCPU[vm.ID()] = cpu
+	}
+	var weightSum int
+	for _, vm := range vms {
+		weightSum += s.weight(vm)
+	}
+	if weightSum == 0 {
+		return
+	}
+	total := float64(n.Config().SchedPeriod) * float64(len(n.PCPUs()))
+	for _, vm := range vms {
+		share := sim.Time(total * float64(s.weight(vm)) / float64(weightSum))
+		// The VM's share is split among its *active* VCPUs, as Xen's
+		// csched does — a VM running one busy process on an 8-VCPU VM
+		// gets its whole entitlement on that VCPU rather than burning
+		// 7/8 of it on idle siblings.
+		active := make([]bool, len(vm.VCPUs()))
+		nActive := 0
+		for i, v := range vm.VCPUs() {
+			d := s.Data(v)
+			cpu := v.CPUTime()
+			st := v.State()
+			if cpu > d.lastPeriodCPU || st == vmm.StateRunnable || st == vmm.StateRunning {
+				active[i] = true
+				nActive++
+			}
+			d.lastPeriodCPU = cpu
+		}
+		if nActive == 0 {
+			for i := range active {
+				active[i] = true
+			}
+			nActive = len(active)
+		}
+		perVCPU := share / sim.Time(nActive)
+		if s.creditCap < 2*perVCPU {
+			s.creditCap = 2 * perVCPU
+		}
+		for i, v := range vm.VCPUs() {
+			d := s.Data(v)
+			s.charge(v, d)
+			if active[i] {
+				d.Credit += perVCPU
+			}
+			if d.Credit > s.creditCap {
+				d.Credit = s.creditCap
+			}
+			if d.Prio != PrioBoost {
+				d.Prio = s.creditPrio(d)
+			}
+		}
+	}
+}

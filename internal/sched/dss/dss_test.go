@@ -1,0 +1,87 @@
+package dss_test
+
+import (
+	"testing"
+
+	"atcsched/internal/sched/dss"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+	"atcsched/internal/vmmtest"
+)
+
+func TestIOHeavyVMGetsShortSlice(t *testing.T) {
+	opts := dss.DefaultOptions()
+	w := vmmtest.World(2, 1, dss.Factory(opts))
+	n0, n1 := w.Node(0), w.Node(1)
+	pinger := n0.NewVM("pinger", vmm.ClassNonParallel, 1, 0, 1)
+	echo := n1.NewVM("echo", vmm.ClassNonParallel, 1, 0, 1)
+	// Ping-pong generates a steady stream of I/O wakes on both sides.
+	vmmtest.Loop(pinger.VCPU(0),
+		vmm.Send(echo, 0, 1, 64),
+		vmm.Recv(2),
+	)
+	vmmtest.Loop(echo.VCPU(0),
+		vmm.Recv(1),
+		vmm.Send(pinger, 0, 2, 64),
+	)
+	hog := n0.NewVM("hog", vmm.ClassNonParallel, 1, 0, 1)
+	vmmtest.Loop(hog.VCPU(0), vmm.Compute(sim.Second))
+	w.Start()
+	w.RunUntil(2 * sim.Second)
+	s := n0.Scheduler().(*dss.Scheduler)
+	if got := s.CurrentSlice(pinger); got >= opts.Credit.TimeSlice {
+		t.Errorf("I/O-heavy VM slice = %v, want a short tier", got)
+	}
+	if got := s.CurrentSlice(hog); got != opts.Credit.TimeSlice {
+		t.Errorf("CPU-bound VM slice = %v, want default", got)
+	}
+}
+
+func TestTierBoundaries(t *testing.T) {
+	// Drive the tier table directly through simulated wake rates.
+	opts := dss.DefaultOptions()
+	opts.Smoothing = 1 // no EMA, direct mapping
+	w := vmmtest.World(1, 1, dss.Factory(opts))
+	node := w.Node(0)
+	vm := node.NewVM("x", vmm.ClassNonParallel, 1, 0, 1)
+	// A disk-I/O hammer: each tiny request completes after ~0.4 ms of
+	// positioning → ~70 I/O events per 30 ms period → the 5 ms tier
+	// (rate 10..100). Timer wakes deliberately don't count as I/O.
+	vmmtest.Loop(vm.VCPU(0), vmm.DiskIO(0))
+	w.Start()
+	w.RunUntil(sim.Second)
+	s := node.Scheduler().(*dss.Scheduler)
+	if got := s.CurrentSlice(vm); got != 5*sim.Millisecond {
+		t.Errorf("slice = %v, want 5ms tier for ~70 events/period", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	w := vmmtest.World(1, 1, dss.Factory(dss.DefaultOptions()))
+	node := w.Node(0)
+	bad := dss.DefaultOptions()
+	bad.Smoothing = 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero smoothing accepted")
+			}
+		}()
+		dss.New(node, bad)
+	}()
+	unsorted := dss.DefaultOptions()
+	unsorted.Tiers = []dss.Tier{{MinRate: 1, Slice: sim.Millisecond}, {MinRate: 10, Slice: sim.Millisecond}}
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted tiers accepted")
+		}
+	}()
+	dss.New(node, unsorted)
+}
+
+func TestName(t *testing.T) {
+	w := vmmtest.World(1, 1, dss.Factory(dss.DefaultOptions()))
+	if got := w.Node(0).Scheduler().Name(); got != "DSS" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,60 @@
+// Package extslice is a credit scheduler whose per-VM time slices are
+// set from *outside* the hypervisor — the in-simulator stand-in for a
+// Xen whose slice knobs a dom0 userspace daemon adjusts. It performs no
+// adaptation of its own: cmd/atcd's sim backend samples each VM's
+// spinlock latency, runs the ATC controller in userspace, and writes the
+// resulting slices back through Set, closing the loop the paper
+// implements inside the hypervisor.
+package extslice
+
+import (
+	"atcsched/internal/sched/credit"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+)
+
+// Scheduler is the externally-controlled credit scheduler.
+type Scheduler struct {
+	*credit.Scheduler
+	slices map[int]sim.Time
+}
+
+// New builds an extslice scheduler for node n.
+func New(n *vmm.Node, opts credit.Options) *Scheduler {
+	return &Scheduler{Scheduler: credit.New(n, opts), slices: make(map[int]sim.Time)}
+}
+
+// Factory returns a vmm.SchedulerFactory producing extslice schedulers.
+func Factory(opts credit.Options) vmm.SchedulerFactory {
+	return func(n *vmm.Node) vmm.Scheduler { return New(n, opts) }
+}
+
+// Name implements vmm.Scheduler.
+func (s *Scheduler) Name() string { return "EXT" }
+
+// Slice implements vmm.Scheduler: the externally-set per-VM slice, or
+// the credit default.
+func (s *Scheduler) Slice(v *vmm.VCPU) sim.Time {
+	if sl, ok := s.slices[v.VM().ID()]; ok {
+		return sl
+	}
+	return s.Options().TimeSlice
+}
+
+// Set applies an externally-computed slice for vm (world-unique id).
+// Non-positive values reset to the default.
+func (s *Scheduler) Set(vmID int, slice sim.Time) {
+	if slice <= 0 {
+		delete(s.slices, vmID)
+		return
+	}
+	s.slices[vmID] = slice
+}
+
+// Current returns the slice in force for vmID.
+func (s *Scheduler) Current(vmID int) sim.Time {
+	if sl, ok := s.slices[vmID]; ok {
+		return sl
+	}
+	return s.Options().TimeSlice
+}

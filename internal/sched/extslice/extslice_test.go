@@ -1,0 +1,65 @@
+package extslice_test
+
+import (
+	"testing"
+
+	"atcsched/internal/sched/credit"
+	"atcsched/internal/sched/extslice"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+	"atcsched/internal/vmmtest"
+)
+
+func TestExternalSliceApplied(t *testing.T) {
+	w := vmmtest.World(1, 1, extslice.Factory(credit.DefaultOptions()))
+	node := w.Node(0)
+	vm := node.NewVM("x", vmm.ClassParallel, 1, 0, 1)
+	s := node.Scheduler().(*extslice.Scheduler)
+	if s.Name() != "EXT" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	v := vm.VCPU(0)
+	if got := s.Slice(v); got != 30*sim.Millisecond {
+		t.Errorf("default slice = %v", got)
+	}
+	s.Set(vm.ID(), 2*sim.Millisecond)
+	if got := s.Slice(v); got != 2*sim.Millisecond {
+		t.Errorf("set slice = %v", got)
+	}
+	if got := s.Current(vm.ID()); got != 2*sim.Millisecond {
+		t.Errorf("Current = %v", got)
+	}
+	s.Set(vm.ID(), 0) // reset
+	if got := s.Slice(v); got != 30*sim.Millisecond {
+		t.Errorf("reset slice = %v", got)
+	}
+}
+
+func TestExternalSliceGovernsPreemption(t *testing.T) {
+	// Two hogs; slice set externally to 1ms must produce ~30x the
+	// context switches of the default.
+	run := func(slice sim.Time) uint64 {
+		w := vmmtest.World(1, 1, extslice.Factory(credit.DefaultOptions()))
+		node := w.Node(0)
+		var vms []*vmm.VM
+		for i := 0; i < 2; i++ {
+			vm := node.NewVM("hog", vmm.ClassNonParallel, 1, 0, 1)
+			vmmtest.Loop(vm.VCPU(0), vmm.Compute(sim.Second))
+			vms = append(vms, vm)
+		}
+		if slice > 0 {
+			s := node.Scheduler().(*extslice.Scheduler)
+			for _, vm := range vms {
+				s.Set(vm.ID(), slice)
+			}
+		}
+		w.Start()
+		w.RunUntil(sim.Second)
+		return node.CtxSwitches()
+	}
+	fine := run(sim.Millisecond)
+	coarse := run(0)
+	if fine < 10*coarse {
+		t.Errorf("ctx switches fine=%d coarse=%d", fine, coarse)
+	}
+}

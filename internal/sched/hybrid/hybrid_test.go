@@ -1,0 +1,71 @@
+package hybrid_test
+
+import (
+	"testing"
+
+	"atcsched/internal/sched/credit"
+	"atcsched/internal/sched/hybrid"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+	"atcsched/internal/vmmtest"
+)
+
+func TestParallelVMPromoted(t *testing.T) {
+	w := vmmtest.World(1, 1, hybrid.Factory(hybrid.DefaultOptions()))
+	node := w.Node(0)
+	par := node.NewVM("par", vmm.ClassParallel, 1, 0, 1)
+	np := node.NewVM("np", vmm.ClassNonParallel, 1, 0, 1)
+	s := node.Scheduler().(*hybrid.Scheduler)
+	a, b := par.VCPU(0), np.VCPU(0)
+	s.Register(a)
+	s.Register(b)
+	s.Data(a).Credit = sim.Millisecond
+	s.Data(b).Credit = sim.Millisecond
+	s.Enqueue(b, vmm.EnqueueNew)
+	s.Enqueue(a, vmm.EnqueueNew) // enqueued second, but promoted
+	if got := s.PickNext(node.PCPUs()[0]); got != a {
+		t.Errorf("PickNext = %v, want promoted parallel VCPU", got)
+	}
+	if s.Data(a).Prio != credit.PrioBoost {
+		t.Errorf("prio = %v, want BOOST", s.Data(a).Prio)
+	}
+}
+
+func TestHybridAcceleratesParallelButHurtsLatency(t *testing.T) {
+	// The related-work tradeoff: HY speeds the parallel VM up vs CR, but
+	// a latency-sensitive neighbour's wake latency suffers relative to
+	// its CR value because promoted parallel VCPUs occupy the PCPUs at
+	// BOOST.
+	type res struct {
+		parallel sim.Time
+		npRounds uint64
+	}
+	run := func(f vmm.SchedulerFactory) res {
+		w := vmmtest.World(1, 2, f)
+		node := w.Node(0)
+		vmA, _ := vmmtest.SpinPair(node, 30*sim.Millisecond)
+		np := node.NewVM("np", vmm.ClassNonParallel, 1, 0, 1)
+		vmmtest.Loop(np.VCPU(0),
+			vmm.Sleep(3*sim.Millisecond),
+			vmm.Compute(500*sim.Microsecond),
+		)
+		w.Start()
+		w.RunUntil(3 * sim.Second)
+		return res{parallel: vmA.SpinMon.LifetimeMean(), npRounds: np.VCPU(0).Rounds()}
+	}
+	cr := run(credit.Factory(credit.DefaultOptions()))
+	hy := run(hybrid.Factory(hybrid.DefaultOptions()))
+	if hy.parallel >= cr.parallel {
+		t.Errorf("HY spin latency %v >= CR %v; promotion not helping parallel", hy.parallel, cr.parallel)
+	}
+	if hy.npRounds >= cr.npRounds {
+		t.Errorf("HY non-parallel progress %d >= CR %d; expected degradation from promotion", hy.npRounds, cr.npRounds)
+	}
+}
+
+func TestName(t *testing.T) {
+	w := vmmtest.World(1, 1, hybrid.Factory(hybrid.DefaultOptions()))
+	if got := w.Node(0).Scheduler().Name(); got != "HY" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,266 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine keeps virtual time as nanoseconds in an int64 and executes
+// scheduled events in (time, sequence) order, so two runs with the same
+// inputs produce byte-identical traces. All of atcsched's virtualization
+// substrate (PCPUs, VCPUs, NICs, disks) is driven by one Engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in (or span of) virtual time, in nanoseconds.
+type Time int64
+
+// Convenient spans of virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros returns t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromMillis converts floating-point milliseconds to a Time.
+func FromMillis(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+// String formats t with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second || t <= -Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Event is a scheduled callback, always handled through Handle so that
+// object recycling stays invisible to callers.
+type Event struct {
+	at       Time
+	seq      uint64
+	gen      uint64 // incremented on reuse; Handle validity check
+	fn       func()
+	index    int // heap index; -1 when not queued
+	canceled bool
+}
+
+// Handle identifies one scheduled event. The zero Handle refers to
+// nothing; Cancel on it (or on a handle whose event already fired or was
+// canceled, even if the underlying object has been recycled for a new
+// event) is a safe no-op.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
+
+// live reports whether the handle still refers to its original event.
+func (h Handle) live() bool { return h.ev != nil && h.ev.gen == h.gen }
+
+// At returns the virtual time the event will fire at (0 for a dead
+// handle).
+func (h Handle) At() Time {
+	if !h.live() {
+		return 0
+	}
+	return h.ev.at
+}
+
+// Canceled reports whether the event was canceled or already fired.
+func (h Handle) Canceled() bool { return !h.live() || h.ev.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// New.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	// executed counts events that have fired, for diagnostics.
+	executed uint64
+	// free recycles fired/canceled Event objects; Handle generations make
+	// the recycling invisible (a stale Cancel is a no-op).
+	free []*Event
+}
+
+// New returns an Engine with the clock at zero and an empty event queue.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it always indicates a modelling bug.
+func (e *Engine) At(t Time, fn func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		gen := ev.gen + 1
+		*ev = Event{at: t, seq: e.seq, gen: gen, fn: fn, index: -1}
+	} else {
+		ev = &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// Schedule schedules fn to run d after the current time.
+func (e *Engine) Schedule(d Time, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel revokes a pending event. Canceling the zero Handle, an
+// already-fired or already-canceled event is a no-op, even if the
+// underlying object has since been recycled for a different event.
+func (e *Engine) Cancel(h Handle) {
+	if !h.live() || h.ev.canceled {
+		return
+	}
+	ev := h.ev
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+		ev.index = -1
+	}
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// Step fires the next pending event. It returns false when the queue is
+// empty or the engine has been stopped.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: clock regression: event at %v, now %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		ev.canceled = true // fired; a late Cancel must be a no-op
+		e.free = append(e.free, ev)
+		e.executed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to
+// t. Events scheduled beyond t remain queued. When the engine was
+// stopped mid-run the clock stays where the last event left it — pending
+// events must still be able to fire after Resume without the clock
+// running backward.
+func (e *Engine) RunUntil(t Time) {
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.stopped {
+		return
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor runs for a span d of virtual time from the current instant.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// Stop halts Run/RunUntil after the current event completes. Pending
+// events stay queued; Resume re-enables stepping.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Resume clears a previous Stop.
+func (e *Engine) Resume() { e.stopped = false }
+
+// Stopped reports whether Stop has been called without a matching Resume.
+func (e *Engine) Stopped() bool { return e.stopped }

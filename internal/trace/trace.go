@@ -1,0 +1,149 @@
+// Package trace synthesizes multi-tenant virtual-cluster populations
+// from the job-size distribution of the LLNL Atlas cluster trace — the
+// paper's Table I — and reproduces the exact 10-virtual-cluster layout
+// the paper derives from it for the Figure 11/12 experiments.
+package trace
+
+import (
+	"fmt"
+
+	"atcsched/internal/rng"
+)
+
+// SizeShare is one row of Table I: the fraction of Atlas jobs requesting
+// a given processor count.
+type SizeShare struct {
+	Processors int
+	Share      float64
+}
+
+// TableI returns the paper's Table I: the distribution of job sizes in
+// the LLNL Atlas trace. "Others" aggregates the remaining sizes.
+func TableI() []SizeShare {
+	return []SizeShare{
+		{Processors: 8, Share: 0.314},
+		{Processors: 16, Share: 0.126},
+		{Processors: 32, Share: 0.045},
+		{Processors: 64, Share: 0.126},
+		{Processors: 128, Share: 0.061},
+		{Processors: 256, Share: 0.045},
+		{Processors: 0, Share: 0.283}, // others
+	}
+}
+
+// VCSpec is one synthesized virtual cluster.
+type VCSpec struct {
+	Name string
+	// VMs is the cluster size in 8-VCPU VMs.
+	VMs int
+}
+
+// Layout is a full tenant population: virtual clusters plus independent
+// single VMs.
+type Layout struct {
+	Clusters    []VCSpec
+	Independent int // count of independent 8-VCPU VMs
+}
+
+// TotalVMs returns the VM count of the layout.
+func (l Layout) TotalVMs() int {
+	n := l.Independent
+	for _, c := range l.Clusters {
+		n += c.VMs
+	}
+	return n
+}
+
+// PaperLayout returns the exact population of §IV-B2: on 128 8-VCPU VMs,
+// one 256-VCPU cluster, two 128-VCPU, three 64-VCPU, one 32-VCPU, three
+// 16-VCPU, and thirty independent VMs.
+func PaperLayout() Layout {
+	return Layout{
+		Clusters: []VCSpec{
+			{Name: "VC1", VMs: 32},
+			{Name: "VC2", VMs: 16},
+			{Name: "VC3", VMs: 16},
+			{Name: "VC4", VMs: 8},
+			{Name: "VC5", VMs: 8},
+			{Name: "VC6", VMs: 8},
+			{Name: "VC7", VMs: 4},
+			{Name: "VC8", VMs: 2},
+			{Name: "VC9", VMs: 2},
+			{Name: "VC10", VMs: 2},
+		},
+		Independent: 30,
+	}
+}
+
+// ScaledLayout shrinks the paper layout proportionally to fit totalVMs
+// 8-VCPU VMs (totalVMs >= 8), preserving the size mix: roughly a quarter
+// of the VMs are independent and the clusters keep their relative sizes
+// with a minimum of 2 VMs.
+func ScaledLayout(totalVMs int) (Layout, error) {
+	if totalVMs < 8 {
+		return Layout{}, fmt.Errorf("trace: need at least 8 VMs, got %d", totalVMs)
+	}
+	paper := PaperLayout()
+	scale := float64(totalVMs) / float64(paper.TotalVMs())
+	if scale >= 1 {
+		return paper, nil
+	}
+	out := Layout{Independent: int(float64(paper.Independent)*scale + 0.5)}
+	if out.Independent < 1 {
+		out.Independent = 1
+	}
+	budget := totalVMs - out.Independent
+	for _, c := range paper.Clusters {
+		n := int(float64(c.VMs)*scale + 0.5)
+		if n < 2 {
+			n = 2
+		}
+		if n > budget {
+			n = budget
+		}
+		if n >= 2 {
+			out.Clusters = append(out.Clusters, VCSpec{Name: c.Name, VMs: n})
+			budget -= n
+		}
+		if budget < 2 {
+			break
+		}
+	}
+	out.Independent += budget // return any remainder as independents
+	return out, nil
+}
+
+// Sample draws a random layout from Table I: it repeatedly samples job
+// sizes (in VCPUs, / 8 → VMs; "others" becomes an independent VM) until
+// totalVMs are allocated. Deterministic given the source.
+func Sample(src *rng.Source, totalVMs int) (Layout, error) {
+	if totalVMs < 1 {
+		return Layout{}, fmt.Errorf("trace: need at least 1 VM, got %d", totalVMs)
+	}
+	shares := TableI()
+	weights := make([]float64, len(shares))
+	for i, s := range shares {
+		weights[i] = s.Share
+	}
+	var out Layout
+	budget := totalVMs
+	vcID := 0
+	for budget > 0 {
+		s := shares[src.Choice(weights)]
+		vms := s.Processors / 8
+		if vms <= 1 { // 8-processor jobs and "others" → independent VM
+			out.Independent++
+			budget--
+			continue
+		}
+		if vms > budget {
+			out.Independent += budget
+			budget = 0
+			break
+		}
+		vcID++
+		out.Clusters = append(out.Clusters, VCSpec{Name: fmt.Sprintf("VC%d", vcID), VMs: vms})
+		budget -= vms
+	}
+	return out, nil
+}

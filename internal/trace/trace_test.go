@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"atcsched/internal/rng"
+)
+
+func TestTableISharesSumToOne(t *testing.T) {
+	var sum float64
+	for _, s := range TableI() {
+		if s.Share <= 0 {
+			t.Errorf("non-positive share for %d", s.Processors)
+		}
+		sum += s.Share
+	}
+	if math.Abs(sum-1.0) > 0.001 {
+		t.Errorf("shares sum to %v", sum)
+	}
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	want := map[int]float64{8: 0.314, 16: 0.126, 32: 0.045, 64: 0.126, 128: 0.061, 256: 0.045, 0: 0.283}
+	for _, s := range TableI() {
+		if want[s.Processors] != s.Share {
+			t.Errorf("share for %d = %v, want %v", s.Processors, s.Share, want[s.Processors])
+		}
+	}
+}
+
+func TestPaperLayout(t *testing.T) {
+	l := PaperLayout()
+	if got := l.TotalVMs(); got != 128 {
+		t.Errorf("total VMs = %d, want 128", got)
+	}
+	if len(l.Clusters) != 10 {
+		t.Errorf("clusters = %d, want 10", len(l.Clusters))
+	}
+	if l.Independent != 30 {
+		t.Errorf("independent = %d, want 30", l.Independent)
+	}
+	// The paper's exact size mix: 1×32, 2×16, 3×8, 1×4, 3×2 (in VMs).
+	counts := map[int]int{}
+	for _, c := range l.Clusters {
+		counts[c.VMs]++
+	}
+	want := map[int]int{32: 1, 16: 2, 8: 3, 4: 1, 2: 3}
+	for size, n := range want {
+		if counts[size] != n {
+			t.Errorf("clusters of %d VMs = %d, want %d", size, counts[size], n)
+		}
+	}
+}
+
+func TestScaledLayoutFits(t *testing.T) {
+	for _, total := range []int{8, 16, 32, 64, 128, 256} {
+		l, err := ScaledLayout(total)
+		if err != nil {
+			t.Fatalf("total=%d: %v", total, err)
+		}
+		if got := l.TotalVMs(); got != total && total < 128 {
+			t.Errorf("total=%d: layout has %d VMs", total, got)
+		}
+		if total >= 128 && l.TotalVMs() != 128 {
+			t.Errorf("total=%d: want paper layout (128), got %d", total, l.TotalVMs())
+		}
+		for _, c := range l.Clusters {
+			if c.VMs < 2 {
+				t.Errorf("total=%d: cluster %s has %d VMs", total, c.Name, c.VMs)
+			}
+		}
+		if l.Independent < 1 {
+			t.Errorf("total=%d: no independent VMs", total)
+		}
+	}
+	if _, err := ScaledLayout(4); err == nil {
+		t.Error("tiny layout accepted")
+	}
+}
+
+func TestSampleExactBudgetProperty(t *testing.T) {
+	f := func(seed uint64, totalRaw uint8) bool {
+		total := int(totalRaw%120) + 1
+		l, err := Sample(rng.New(seed), total)
+		if err != nil {
+			return false
+		}
+		if l.TotalVMs() != total {
+			return false
+		}
+		for _, c := range l.Clusters {
+			if c.VMs < 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleDistributionRoughlyMatches(t *testing.T) {
+	// Over many draws the share of independent VMs should be near the
+	// probability mass of sizes <= 8 (0.314 + 0.283 ≈ 0.6 of jobs — but
+	// in VM terms larger jobs absorb more VMs, so just sanity-check both
+	// kinds appear in volume).
+	src := rng.New(99)
+	var indep, clustered int
+	for i := 0; i < 200; i++ {
+		l, err := Sample(src, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		indep += l.Independent
+		for _, c := range l.Clusters {
+			clustered += c.VMs
+		}
+	}
+	if indep == 0 || clustered == 0 {
+		t.Fatalf("degenerate sampling: indep=%d clustered=%d", indep, clustered)
+	}
+	frac := float64(indep) / float64(indep+clustered)
+	if frac < 0.05 || frac > 0.6 {
+		t.Errorf("independent fraction = %.3f, implausible for Table I", frac)
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	if _, err := Sample(rng.New(1), 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestLayoutTotalVMs(t *testing.T) {
+	l := Layout{Clusters: []VCSpec{{Name: "a", VMs: 3}, {Name: "b", VMs: 5}}, Independent: 2}
+	if l.TotalVMs() != 10 {
+		t.Errorf("TotalVMs = %d", l.TotalVMs())
+	}
+	var empty Layout
+	if empty.TotalVMs() != 0 {
+		t.Error("empty layout not 0")
+	}
+}

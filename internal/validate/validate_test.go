@@ -1,0 +1,111 @@
+package validate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpearmanPerfectAgreement(t *testing.T) {
+	a := map[string]float64{"x": 1, "y": 2, "z": 3}
+	b := map[string]float64{"x": 10, "y": 20, "z": 30}
+	r, err := SpearmanRank(a, b)
+	if err != nil || math.Abs(r-1) > 1e-12 {
+		t.Errorf("r = %v, %v", r, err)
+	}
+}
+
+func TestSpearmanPerfectDisagreement(t *testing.T) {
+	a := map[string]float64{"x": 1, "y": 2, "z": 3}
+	b := map[string]float64{"x": 3, "y": 2, "z": 1}
+	r, err := SpearmanRank(a, b)
+	if err != nil || math.Abs(r+1) > 1e-12 {
+		t.Errorf("r = %v, %v", r, err)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	a := map[string]float64{"w": 1, "x": 2, "y": 2, "z": 4}
+	b := map[string]float64{"w": 5, "x": 6, "y": 6, "z": 9}
+	r, err := SpearmanRank(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("tied-agreement r = %v, want 1", r)
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, err := SpearmanRank(map[string]float64{"a": 1}, map[string]float64{"a": 1}); err == nil {
+		t.Error("single key accepted")
+	}
+	if _, err := SpearmanRank(map[string]float64{"a": 1, "b": 2}, map[string]float64{"a": 1, "c": 2}); err == nil {
+		t.Error("mismatched keys accepted")
+	}
+	if _, err := SpearmanRank(map[string]float64{"a": 1, "b": 1}, map[string]float64{"a": 1, "b": 2}); err == nil {
+		t.Error("constant ranks accepted")
+	}
+}
+
+func TestSpearmanBoundedProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) < 8 {
+			return true
+		}
+		a := map[string]float64{}
+		b := map[string]float64{}
+		names := []string{"q", "r", "s", "t"}
+		for i, n := range names {
+			a[n] = float64(vals[i]) + float64(i)*0.01
+			b[n] = float64(vals[i+4]) + float64(i)*0.01
+		}
+		r, err := SpearmanRank(a, b)
+		if err != nil {
+			return true
+		}
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInBand(t *testing.T) {
+	if !InBand(5, 1.5, 10, 1) {
+		t.Error("5 not in [1.5,10]")
+	}
+	if InBand(20, 1.5, 10, 1) {
+		t.Error("20 in [1.5,10]")
+	}
+	if !InBand(20, 1.5, 10, 2) {
+		t.Error("20 not in slack-2 band [0.75,20]")
+	}
+	if !InBand(1, 1.5, 10, 2) {
+		t.Error("1 not in slack-2 band")
+	}
+}
+
+func TestSameDirection(t *testing.T) {
+	if !SameDirection(1.75, 14.0) {
+		t.Error("both >1 should agree")
+	}
+	if SameDirection(1.75, 0.9) {
+		t.Error(">1 vs <1 should disagree")
+	}
+	if !SameDirection(0.35, 0.5) {
+		t.Error("both <1 should agree")
+	}
+	if !SameDirection(1, 1) {
+		t.Error("exact 1 vs 1")
+	}
+}
+
+func TestScorecard(t *testing.T) {
+	var s Scorecard
+	s.Add("a", "x", "y", true)
+	s.Add("b", "x", "y", false)
+	if s.Passed() != 1 || len(s.Checks) != 2 {
+		t.Errorf("passed=%d checks=%d", s.Passed(), len(s.Checks))
+	}
+}

@@ -1,0 +1,127 @@
+package vmm
+
+import (
+	"fmt"
+
+	"atcsched/internal/sim"
+)
+
+// ActionKind identifies what a Process wants its VCPU to do next.
+type ActionKind int
+
+// The supported action kinds.
+const (
+	// ActCompute burns Work of warm-speed CPU time (cache model applies).
+	ActCompute ActionKind = iota
+	// ActAcquire takes a guest spinlock, spinning while it is held.
+	ActAcquire
+	// ActRelease releases a guest spinlock held by this VCPU.
+	ActRelease
+	// ActSend posts a packet to another VM's process (asynchronous).
+	ActSend
+	// ActRecv waits for a packet with a matching tag (blocking).
+	ActRecv
+	// ActDisk issues a disk request of Size bytes and blocks until done.
+	ActDisk
+	// ActSleep blocks for Dur of virtual time.
+	ActSleep
+	// ActBlock blocks until the VCPU is explicitly woken (backend use).
+	ActBlock
+	// ActDone ends the process; the VCPU's OnDone hook decides what next.
+	ActDone
+)
+
+// String returns the action kind's name.
+func (k ActionKind) String() string {
+	switch k {
+	case ActCompute:
+		return "Compute"
+	case ActAcquire:
+		return "Acquire"
+	case ActRelease:
+		return "Release"
+	case ActSend:
+		return "Send"
+	case ActRecv:
+		return "Recv"
+	case ActDisk:
+		return "Disk"
+	case ActSleep:
+		return "Sleep"
+	case ActBlock:
+		return "Block"
+	case ActDone:
+		return "Done"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Action is one step of a Process. Fields are used according to Kind.
+type Action struct {
+	Kind ActionKind
+	// Work is the warm-speed CPU time for ActCompute.
+	Work sim.Time
+	// Lock is the target of ActAcquire/ActRelease.
+	Lock *Spinlock
+	// Dst/DstProc/Tag/Size describe an ActSend packet; Tag also selects
+	// the ActRecv match and Size the ActDisk request.
+	Dst     *VM
+	DstProc int
+	Tag     int
+	Size    int
+	// Dur is the ActSleep duration. For ActRecv it is the busy-poll
+	// budget: 0 blocks immediately (interrupt-driven I/O); > 0 spins on
+	// the mailbox for up to Dur before blocking (MPI progress-engine
+	// polling); < 0 spins forever.
+	Dur sim.Time
+	// Then, if non-nil, runs when the action completes (after the compute
+	// finishes, the send is posted, the recv matches, ...). It runs inside
+	// the simulation event, so it may post work but must not block.
+	Then func()
+}
+
+// Compute returns a compute action of the given warm-speed duration.
+func Compute(work sim.Time) Action { return Action{Kind: ActCompute, Work: work} }
+
+// Acquire returns a spinlock-acquire action.
+func Acquire(l *Spinlock) Action { return Action{Kind: ActAcquire, Lock: l} }
+
+// Release returns a spinlock-release action.
+func Release(l *Spinlock) Action { return Action{Kind: ActRelease, Lock: l} }
+
+// Send returns an asynchronous message-send action.
+func Send(dst *VM, dstProc, tag, size int) Action {
+	return Action{Kind: ActSend, Dst: dst, DstProc: dstProc, Tag: tag, Size: size}
+}
+
+// Recv returns a blocking receive action matching tag.
+func Recv(tag int) Action { return Action{Kind: ActRecv, Tag: tag} }
+
+// RecvPoll returns a receive that busy-polls for up to poll before
+// blocking (poll < 0 polls forever).
+func RecvPoll(tag int, poll sim.Time) Action {
+	return Action{Kind: ActRecv, Tag: tag, Dur: poll}
+}
+
+// DiskIO returns a blocking disk request action.
+func DiskIO(size int) Action { return Action{Kind: ActDisk, Size: size} }
+
+// Sleep returns a timed block action.
+func Sleep(d sim.Time) Action { return Action{Kind: ActSleep, Dur: d} }
+
+// Done returns the process-finished action.
+func Done() Action { return Action{Kind: ActDone} }
+
+// Process generates the actions a VCPU executes. Next is called whenever
+// the previous action has completed; implementations are single-threaded
+// state machines and must be deterministic given their inputs.
+type Process interface {
+	Next() Action
+}
+
+// ProcessFunc adapts a function to the Process interface.
+type ProcessFunc func() Action
+
+// Next calls f.
+func (f ProcessFunc) Next() Action { return f() }

@@ -1,0 +1,29 @@
+// Package vmm is the virtualization substrate: physical nodes with PCPUs,
+// guest VMs with VCPUs, a pluggable VMM scheduler interface, guest
+// spinlocks that exhibit lock-holder preemption, and the Xen-style
+// split-driver I/O path (event channels, I/O rings, a dom0 backend per
+// node) over the physical fabric of package netmodel.
+//
+// The package deliberately mirrors the mechanisms the paper reasons
+// about:
+//
+//   - A VCPU runs on a PCPU until its scheduler-assigned time slice
+//     expires, it blocks, or it is preempted. Context switches cost real
+//     (simulated) time and cool the incoming VCPU's cache footprint
+//     (package cachemodel).
+//   - A guest spinlock held by a preempted VCPU makes waiters spin,
+//     burning their slices — the paper's Figure 3. Spin latency is
+//     recorded per VM and sampled per 30 ms scheduling period, which is
+//     exactly the signal ATC consumes.
+//   - A packet from VM1 to VM2 follows Figure 4's eleven steps: the guest
+//     must be scheduled to post to the I/O ring, the sender's dom0 must be
+//     scheduled to run netback, the wire transfers it, the receiver's dom0
+//     must be scheduled, and finally the destination VCPU must be
+//     scheduled to consume it. All four scheduling waits are real waits in
+//     this simulator.
+//
+// Workloads drive VCPUs through the Process interface, yielding Actions
+// (compute, lock acquire/release, send/recv, disk, sleep). Package
+// workload provides the application library; package cluster assembles
+// whole experiments.
+package vmm

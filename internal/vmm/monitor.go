@@ -1,0 +1,51 @@
+package vmm
+
+import (
+	"atcsched/internal/metrics"
+	"atcsched/internal/sim"
+)
+
+// SpinMonitor accumulates per-VM spinlock latency. It keeps both a
+// lifetime view (for the evaluation harness) and a per-scheduling-period
+// accumulator that schedulers sample and reset every period — the paper's
+// "average spinlock latency of VM during the (i-1)th scheduling period".
+type SpinMonitor struct {
+	lifetime metrics.Welford
+	// period accumulators, reset by SamplePeriod.
+	periodSum   sim.Time
+	periodCount int64
+}
+
+// Record notes one completed lock acquisition that waited for lat.
+// Uncontended acquisitions record zero, which keeps the per-period
+// average meaningful (ATC's "latency remains zero" branch).
+func (m *SpinMonitor) Record(lat sim.Time) {
+	m.lifetime.Add(float64(lat))
+	m.periodSum += lat
+	m.periodCount++
+}
+
+// SamplePeriod returns the mean latency of the acquisitions recorded
+// since the previous call (0 when there were none) and resets the period
+// accumulator.
+func (m *SpinMonitor) SamplePeriod() sim.Time {
+	if m.periodCount == 0 {
+		return 0
+	}
+	avg := m.periodSum / sim.Time(m.periodCount)
+	m.periodSum = 0
+	m.periodCount = 0
+	return avg
+}
+
+// LifetimeMean returns the mean latency across the whole run.
+func (m *SpinMonitor) LifetimeMean() sim.Time { return sim.Time(m.lifetime.Mean()) }
+
+// LifetimeCount returns the number of acquisitions recorded.
+func (m *SpinMonitor) LifetimeCount() int64 { return m.lifetime.N() }
+
+// LifetimeMax returns the worst acquisition latency observed.
+func (m *SpinMonitor) LifetimeMax() sim.Time { return sim.Time(m.lifetime.Max()) }
+
+// LifetimeSum returns the total time spent waiting on spinlocks.
+func (m *SpinMonitor) LifetimeSum() sim.Time { return sim.Time(m.lifetime.Sum()) }

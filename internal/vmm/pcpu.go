@@ -1,0 +1,546 @@
+package vmm
+
+import (
+	"fmt"
+
+	"atcsched/internal/cachemodel"
+	"atcsched/internal/sim"
+)
+
+// PCPU is one physical core. It executes at most one VCPU at a time,
+// granting it the scheduler-assigned slice, modelling context-switch cost
+// and cache cooling, and handling preemption, blocking, and spin-waiting.
+type PCPU struct {
+	node *Node
+	idx  int
+
+	cache   *cachemodel.Cache
+	clients map[*VCPU]*cachemodel.Client
+
+	cur     *VCPU
+	lastRan *VCPU
+
+	sliceEnd sim.Time
+	sliceEv  sim.Handle
+	// stepEv is the pending timed-segment completion (compute/burn done)
+	// or the deferred step kick-off after a context switch.
+	stepEv sim.Handle
+	// dispatchQueued coalesces deferred dispatch requests.
+	dispatchQueued bool
+	// stepQueued coalesces deferred step requests.
+	stepQueued bool
+
+	busyTime    sim.Time
+	busySince   sim.Time // valid when cur != nil
+	ctxSwitches uint64
+	dispatches  uint64
+
+	// Pre-bound callbacks so the hot scheduling paths do not allocate a
+	// closure per deferral.
+	dispatchFn func()
+	stepFn     func()
+	sliceFn    func()
+	csFn       func()
+}
+
+// initFns binds the reusable event callbacks (called at construction).
+func (p *PCPU) initFns() {
+	p.dispatchFn = func() {
+		p.dispatchQueued = false
+		p.dispatch()
+	}
+	p.stepFn = func() {
+		p.stepQueued = false
+		p.step()
+	}
+	p.sliceFn = p.onSliceEnd
+	p.csFn = func() {
+		p.stepEv = sim.Handle{}
+		p.step()
+	}
+}
+
+// Node returns the owning node.
+func (p *PCPU) Node() *Node { return p.node }
+
+// Index returns the node-local PCPU index.
+func (p *PCPU) Index() int { return p.idx }
+
+// Current returns the running VCPU (nil when idle).
+func (p *PCPU) Current() *VCPU { return p.cur }
+
+// CtxSwitches returns the number of switches to a different VCPU.
+func (p *PCPU) CtxSwitches() uint64 { return p.ctxSwitches }
+
+// BusyTime returns accumulated non-idle time.
+func (p *PCPU) BusyTime() sim.Time {
+	t := p.busyTime
+	if p.cur != nil {
+		t += p.node.eng.Now() - p.busySince
+	}
+	return t
+}
+
+// SliceEnd returns the end of the current slice (meaningless when idle).
+func (p *PCPU) SliceEnd() sim.Time { return p.sliceEnd }
+
+// Cache returns this PCPU's LLC model.
+func (p *PCPU) Cache() *cachemodel.Cache { return p.cache }
+
+func (p *PCPU) clientFor(v *VCPU) *cachemodel.Client {
+	cl, ok := p.clients[v]
+	if !ok {
+		cl = p.cache.NewClient(v.footprint, v.coldRate)
+		p.clients[v] = cl
+	}
+	return cl
+}
+
+// scheduleDispatch defers a dispatch to a fresh event at the current
+// instant, flattening recursion from wake/preempt chains.
+func (p *PCPU) scheduleDispatch() {
+	if p.dispatchQueued {
+		return
+	}
+	p.dispatchQueued = true
+	p.node.eng.Schedule(0, p.dispatchFn)
+}
+
+// scheduleStep defers a step to a fresh event at the current instant.
+func (p *PCPU) scheduleStep() {
+	if p.stepQueued {
+		return
+	}
+	p.stepQueued = true
+	p.node.eng.Schedule(0, p.stepFn)
+}
+
+// dispatch asks the scheduler for the next VCPU and installs it.
+func (p *PCPU) dispatch() {
+	if p.cur != nil {
+		return // something is already running (a racing wake dispatched us)
+	}
+	v := p.node.sched.PickNext(p)
+	if v == nil {
+		return // idle
+	}
+	if v.state != StateRunnable {
+		panic(fmt.Sprintf("vmm: PickNext returned %s in state %v", v, v.state))
+	}
+	now := p.node.eng.Now()
+	v.waitTime += now - v.waitStart
+	v.vm.countWait(now - v.waitStart)
+	v.state = StateRunning
+	v.pcpu = p
+	v.runStart = now
+	v.runSegStart = -1
+	p.cur = v
+	p.busySince = now
+	p.dispatches++
+	p.node.trace(TraceDispatch, p.idx, v, 0)
+
+	cs := sim.Time(0)
+	if p.lastRan != v {
+		cs = p.node.cfg.CtxSwitchCost
+		p.ctxSwitches++
+		v.vm.ctxSwitches++
+	}
+	p.lastRan = v
+
+	slice := p.node.sched.Slice(v)
+	if slice <= 0 {
+		panic(fmt.Sprintf("vmm: scheduler %s granted non-positive slice %v", p.node.sched.Name(), slice))
+	}
+	p.sliceEnd = now + cs + slice
+	p.sliceEv = p.node.eng.At(p.sliceEnd, p.sliceFn)
+
+	if cs > 0 {
+		p.stepEv = p.node.eng.Schedule(cs, p.csFn)
+		return
+	}
+	p.step()
+}
+
+// onSliceEnd preempts the current VCPU when its slice expires.
+func (p *PCPU) onSliceEnd() {
+	p.sliceEv = sim.Handle{}
+	p.preemptCur()
+}
+
+// Preempt forcibly ends the current VCPU's slice (scheduler-initiated,
+// e.g., co-scheduling gang dispatch or wake tickling).
+func (p *PCPU) Preempt() {
+	if p.sliceEv != (sim.Handle{}) {
+		p.node.eng.Cancel(p.sliceEv)
+		p.sliceEv = sim.Handle{}
+	}
+	p.preemptCur()
+}
+
+func (p *PCPU) preemptCur() {
+	v := p.cur
+	if v == nil {
+		p.scheduleDispatch()
+		return
+	}
+	now := p.node.eng.Now()
+	if p.stepEv != (sim.Handle{}) {
+		p.node.eng.Cancel(p.stepEv)
+		p.stepEv = sim.Handle{}
+	}
+	p.accountPartial(v, now)
+	if p.cur != v {
+		// The interrupted action completed at this very instant and its
+		// effect blocked the VCPU (e.g., a disk submit); nothing to
+		// requeue.
+		p.scheduleDispatch()
+		return
+	}
+	p.node.trace(TracePreempt, p.idx, v, 0)
+	p.releaseCur(v, now)
+	v.state = StateRunnable
+	v.waitStart = now
+	p.node.sched.Enqueue(v, EnqueuePreempt)
+	p.scheduleDispatch()
+}
+
+// releaseCur detaches v from the PCPU and settles accounting.
+func (p *PCPU) releaseCur(v *VCPU, now sim.Time) {
+	v.runTime += now - v.runStart
+	v.pcpu = nil
+	p.cur = nil
+	p.busyTime += now - p.busySince
+	if p.sliceEv != (sim.Handle{}) {
+		p.node.eng.Cancel(p.sliceEv)
+		p.sliceEv = sim.Handle{}
+	}
+}
+
+// accountPartial credits progress for an interrupted timed segment.
+func (p *PCPU) accountPartial(v *VCPU, now sim.Time) {
+	if v.runSegStart < 0 || v.pending == nil {
+		v.runSegStart = -1
+		return
+	}
+	dt := now - v.runSegStart
+	v.runSegStart = -1
+	if dt <= 0 {
+		return
+	}
+	a := v.pending
+	switch a.Kind {
+	case ActCompute:
+		work := p.cache.Advance(p.clientFor(v), dt)
+		a.Work -= work
+		if a.Work <= 0 {
+			p.completeAction(v, a)
+		}
+	default:
+		// A fixed-cost burn (send/recv/disk submit).
+		v.burnRemaining -= dt
+		if v.burnRemaining <= 0 {
+			v.burnRemaining = 0
+			p.applyEffect(v, a)
+		}
+	}
+}
+
+// completeAction retires a finished action and runs its Then hook.
+func (p *PCPU) completeAction(v *VCPU, a *Action) {
+	v.pending = nil
+	v.burnRemaining = -1
+	if a.Then != nil {
+		a.Then()
+	}
+}
+
+// blockCur blocks the current VCPU (waiting on I/O, a message, a timer,
+// or — for ActDone with no restart — forever).
+func (p *PCPU) blockCur(v *VCPU, st VCPUState) {
+	if p.cur != v {
+		panic(fmt.Sprintf("vmm: blockCur for %s which is not current", v))
+	}
+	now := p.node.eng.Now()
+	if p.stepEv != (sim.Handle{}) {
+		p.node.eng.Cancel(p.stepEv)
+		p.stepEv = sim.Handle{}
+	}
+	if v.runSegStart >= 0 {
+		panic(fmt.Sprintf("vmm: %s blocking mid-segment", v))
+	}
+	p.node.trace(TraceBlock, p.idx, v, 0)
+	p.releaseCur(v, now)
+	v.state = st
+	p.scheduleDispatch()
+}
+
+// still reports whether v is still the running VCPU on p — used to bail
+// out of the step loop after side effects that may have preempted us.
+func (p *PCPU) still(v *VCPU) bool {
+	return p.cur == v && v.state == StateRunning
+}
+
+// step executes the current VCPU's actions until one of them requires
+// waiting (for time, a lock, a message, ...) or the VCPU loses the PCPU.
+func (p *PCPU) step() {
+	v := p.cur
+	if v == nil || v.state != StateRunning {
+		return
+	}
+	if v.runSegStart >= 0 || p.stepEv != (sim.Handle{}) {
+		// A timed segment is already in flight (its completion event or
+		// the slice end will continue); a stale deferred step must not
+		// restart it.
+		return
+	}
+	eng := p.node.eng
+	for iter := 0; ; iter++ {
+		if iter > p.node.cfg.MaxInlineSteps {
+			panic(fmt.Sprintf("vmm: %s exceeded %d inline steps at %v — runaway zero-cost process?",
+				v, p.node.cfg.MaxInlineSteps, eng.Now()))
+		}
+		if !p.still(v) {
+			return
+		}
+		if v.pending == nil {
+			if v.proc == nil {
+				p.blockCur(v, StateIdle)
+				return
+			}
+			v.pendingBuf = v.proc.Next()
+			v.pending = &v.pendingBuf
+			v.burnRemaining = -1
+		}
+		a := v.pending
+		now := eng.Now()
+		switch a.Kind {
+		case ActCompute:
+			if a.Work <= 0 {
+				p.completeAction(v, a)
+				continue
+			}
+			cl := p.clientFor(v)
+			t := p.cache.TimeFor(cl, a.Work)
+			v.runSegStart = now
+			if now+t <= p.sliceEnd {
+				p.stepEv = eng.Schedule(t, func() {
+					p.stepEv = sim.Handle{}
+					p.onSegmentDone(v)
+				})
+			}
+			// Otherwise the slice ends first; preemption accounts the
+			// partial progress.
+			return
+
+		case ActAcquire:
+			if v.spinningOn == a.Lock {
+				// Already a waiter (re-dispatched mid-spin). Complete if
+				// the lock was reserved for us; otherwise keep spinning.
+				if a.Lock.granted == v {
+					if !a.Lock.tryAcquire(v, now) {
+						panic("vmm: granted lock refused acquisition")
+					}
+					p.completeAction(v, a)
+					continue
+				}
+				return // burn the slice spinning
+			}
+			v.spinSince = now
+			if a.Lock.tryAcquire(v, now) {
+				p.completeAction(v, a)
+				continue
+			}
+			v.spinningOn = a.Lock
+			return // spin until granted or preempted
+
+		case ActRelease:
+			lock := a.Lock
+			p.completeAction(v, a)
+			lock.release(v, now)
+			continue
+
+		case ActSend:
+			if !p.startBurn(v, a, p.node.cfg.SendCPUCost) {
+				return
+			}
+			p.applyEffect(v, a)
+			continue
+
+		case ActRecv:
+			if !v.vm.mailReady(v.idx, a.Tag) {
+				v.vm.waitMail(v.idx, a.Tag, v)
+				if a.Dur == 0 {
+					p.blockCur(v, StateBlocked)
+					return
+				}
+				// Busy-poll the mailbox: burn CPU until the packet lands
+				// (the deliver path resumes us), the poll budget runs out
+				// (then block), or the slice ends.
+				if a.Dur > 0 && now+a.Dur <= p.sliceEnd {
+					p.stepEv = eng.Schedule(a.Dur, func() {
+						p.stepEv = sim.Handle{}
+						p.onPollTimeout(v)
+					})
+				}
+				return
+			}
+			if !p.startBurn(v, a, p.node.cfg.RecvCPUCost) {
+				return
+			}
+			p.applyEffect(v, a)
+			continue
+
+		case ActDisk:
+			if !p.startBurn(v, a, p.node.cfg.IOSubmitCost) {
+				return
+			}
+			p.applyEffect(v, a)
+			// applyEffect blocked the VCPU waiting for completion.
+			return
+
+		case ActSleep:
+			then := a.Then
+			d := a.Dur
+			v.pending = nil
+			v.burnRemaining = -1
+			eng.Schedule(d, func() {
+				if then != nil {
+					then()
+				}
+				p.node.wake(v, false)
+			})
+			p.blockCur(v, StateBlocked)
+			return
+
+		case ActBlock:
+			if a.Then != nil {
+				panic("vmm: ActBlock does not support Then")
+			}
+			v.pending = nil
+			v.burnRemaining = -1
+			p.blockCur(v, StateBlocked)
+			return
+
+		case ActDone:
+			v.rounds++
+			v.pending = nil
+			v.burnRemaining = -1
+			if v.OnDone != nil {
+				if np := v.OnDone(v); np != nil {
+					v.proc = np
+					continue
+				}
+			}
+			v.proc = nil
+			p.blockCur(v, StateIdle)
+			return
+
+		default:
+			panic(fmt.Sprintf("vmm: unknown action kind %v", a.Kind))
+		}
+	}
+}
+
+// onSegmentDone fires when a timed compute segment completes in full.
+func (p *PCPU) onSegmentDone(v *VCPU) {
+	if !p.still(v) {
+		return
+	}
+	now := p.node.eng.Now()
+	a := v.pending
+	if a == nil || v.runSegStart < 0 {
+		panic(fmt.Sprintf("vmm: segment completion without segment on %s", v))
+	}
+	dt := now - v.runSegStart
+	v.runSegStart = -1
+	switch a.Kind {
+	case ActCompute:
+		// The timer fired at exactly TimeFor(remaining work), so the
+		// segment is complete by construction; Advance only settles the
+		// cache-residency state (its float work accounting can drift a
+		// few microseconds on long cold segments, which we discard).
+		p.cache.Advance(p.clientFor(v), dt)
+		a.Work = 0
+		p.completeAction(v, a)
+	default:
+		v.burnRemaining = 0
+		p.applyEffect(v, a)
+	}
+	p.step()
+}
+
+// onPollTimeout fires when a busy-polling receive exhausts its budget:
+// the VCPU gives up the CPU and blocks until the packet arrives.
+func (p *PCPU) onPollTimeout(v *VCPU) {
+	if !p.still(v) {
+		return
+	}
+	a := v.pending
+	if a == nil || a.Kind != ActRecv {
+		return // the recv completed at this very instant
+	}
+	if v.vm.mailReady(v.idx, a.Tag) {
+		p.scheduleStep()
+		return
+	}
+	p.blockCur(v, StateBlocked)
+}
+
+// resumePoll is called by the deliver path when a packet lands for a
+// VCPU that is busy-polling on this PCPU right now.
+func (p *PCPU) resumePoll(v *VCPU) {
+	if !p.still(v) {
+		return
+	}
+	if p.stepEv != (sim.Handle{}) {
+		p.node.eng.Cancel(p.stepEv)
+		p.stepEv = sim.Handle{}
+	}
+	p.scheduleStep()
+}
+
+// startBurn begins (or finishes) the fixed CPU cost of a non-compute
+// action. It returns true when the burn is already complete and the
+// action's effect should be applied now.
+func (p *PCPU) startBurn(v *VCPU, a *Action, cost sim.Time) bool {
+	if v.burnRemaining < 0 {
+		v.burnRemaining = cost
+	}
+	if v.burnRemaining == 0 {
+		return true
+	}
+	now := p.node.eng.Now()
+	v.runSegStart = now
+	if now+v.burnRemaining <= p.sliceEnd {
+		p.stepEv = p.node.eng.Schedule(v.burnRemaining, func() {
+			p.stepEv = sim.Handle{}
+			p.onSegmentDone(v)
+		})
+	}
+	return false
+}
+
+// applyEffect performs a non-compute action's side effect once its CPU
+// cost has been paid.
+func (p *PCPU) applyEffect(v *VCPU, a *Action) {
+	switch a.Kind {
+	case ActSend:
+		pkt := Packet{Src: v.vm, SrcProc: v.idx, Dst: a.Dst, DstProc: a.DstProc, Tag: a.Tag, Size: a.Size}
+		v.vm.sent++
+		p.node.backend.enqueueTx(pkt)
+		p.completeAction(v, a)
+	case ActRecv:
+		v.vm.takeMail(v.idx, a.Tag)
+		p.completeAction(v, a)
+	case ActDisk:
+		req := diskReq{v: v, size: a.Size, then: a.Then}
+		v.pending = nil
+		v.burnRemaining = -1
+		p.node.backend.enqueueDisk(req)
+		if p.cur == v && v.state == StateRunning {
+			p.blockCur(v, StateBlocked)
+		}
+	default:
+		panic(fmt.Sprintf("vmm: applyEffect on %v", a.Kind))
+	}
+}

@@ -1,0 +1,47 @@
+package vmm
+
+import "atcsched/internal/sim"
+
+// EnqueueReason tells a scheduler why a VCPU became runnable.
+type EnqueueReason int
+
+// Enqueue reasons.
+const (
+	// EnqueueWake means the VCPU just unblocked (I/O completion, message
+	// arrival, timer). Credit-family schedulers grant BOOST here.
+	EnqueueWake EnqueueReason = iota
+	// EnqueuePreempt means the VCPU's slice expired or it was preempted.
+	EnqueuePreempt
+	// EnqueueNew means the VCPU is entering the runqueue for the first
+	// time.
+	EnqueueNew
+)
+
+// Scheduler is the per-node VMM scheduling policy. One instance serves
+// one Node; the dispatch machinery in this package calls it. All methods
+// run inside simulation events (single-threaded).
+type Scheduler interface {
+	// Name identifies the policy ("CR", "CS", "BS", "DSS", "VS", "ATC").
+	Name() string
+	// Register introduces a VCPU before the simulation starts.
+	Register(v *VCPU)
+	// Enqueue makes a runnable VCPU eligible for dispatch.
+	Enqueue(v *VCPU, reason EnqueueReason)
+	// PickNext removes and returns the VCPU that should run next on p, or
+	// nil to leave p idle. Implementations may steal from sibling PCPUs.
+	PickNext(p *PCPU) *VCPU
+	// Slice returns the time slice to grant v for its next run.
+	Slice(v *VCPU) sim.Time
+	// WakePreempts reports whether the freshly woken VCPU should preempt
+	// p's current VCPU (the credit scheduler's "tickle").
+	WakePreempts(p *PCPU, woken *VCPU) bool
+	// OnTick fires every Node.Config.TickInterval (credit burning).
+	OnTick(n *Node)
+	// OnPeriod fires every Node.Config.SchedPeriod (credit refill,
+	// spin-latency sampling, slice recomputation).
+	OnPeriod(n *Node)
+}
+
+// SchedulerFactory builds a node's scheduler once the node exists, so
+// implementations can keep a back-reference for preemption requests.
+type SchedulerFactory func(n *Node) Scheduler

@@ -1,0 +1,113 @@
+package vmm
+
+import (
+	"fmt"
+
+	"atcsched/internal/sim"
+)
+
+// Spinlock is a guest-kernel FIFO (ticket) spinlock inside one VM.
+//
+// The model reproduces lock-holder preemption (the paper's Figure 3): a
+// holder that is descheduled keeps the lock, so waiters spin — burning
+// their time slices — until the holder runs again and releases. Release
+// hands the lock to the longest-waiting VCPU (ticket order); if that
+// waiter is itself descheduled, the lock stays reserved for it until it
+// next runs (lock-waiter preemption), exactly as ticket locks behave
+// under virtualization.
+type Spinlock struct {
+	vm     *VM
+	id     int
+	holder *VCPU
+	// granted is the waiter the lock is reserved for after a release that
+	// found it descheduled; it acquires when next dispatched.
+	granted *VCPU
+	waiters []spinWaiter
+
+	// contended counts acquisitions that had to wait.
+	contended uint64
+	// acquisitions counts all acquisitions.
+	acquisitions uint64
+}
+
+type spinWaiter struct {
+	v     *VCPU
+	since sim.Time
+}
+
+// VM returns the owning VM.
+func (l *Spinlock) VM() *VM { return l.vm }
+
+// Holder returns the current holder (nil when free and unreserved).
+func (l *Spinlock) Holder() *VCPU {
+	if l.holder != nil {
+		return l.holder
+	}
+	return l.granted
+}
+
+// Contended returns how many acquisitions had to wait.
+func (l *Spinlock) Contended() uint64 { return l.contended }
+
+// Acquisitions returns the total number of acquisitions.
+func (l *Spinlock) Acquisitions() uint64 { return l.acquisitions }
+
+// tryAcquire is called when a running VCPU executes ActAcquire. It
+// returns true when the lock is taken (latency recorded); false when the
+// VCPU must spin.
+func (l *Spinlock) tryAcquire(v *VCPU, now sim.Time) bool {
+	if l.granted == v {
+		// The lock was reserved for v by a release that happened while v
+		// was descheduled; complete the acquisition now.
+		l.granted = nil
+		l.holder = v
+		l.finishAcquire(v, now)
+		return true
+	}
+	if l.holder == nil && l.granted == nil && len(l.waiters) == 0 {
+		l.holder = v
+		l.acquisitions++
+		l.vm.SpinMon.Record(0)
+		return true
+	}
+	if l.holder == v {
+		panic(fmt.Sprintf("vmm: VCPU %s re-acquiring held spinlock %d", v, l.id))
+	}
+	l.waiters = append(l.waiters, spinWaiter{v: v, since: now})
+	return false
+}
+
+// finishAcquire records the latency for a waiter that just got the lock.
+func (l *Spinlock) finishAcquire(v *VCPU, now sim.Time) {
+	l.acquisitions++
+	l.contended++
+	l.vm.SpinMon.Record(now - v.spinSince)
+	v.spinningOn = nil
+	v.vm.spinWaitTotal += now - v.spinSince
+}
+
+// release is called when the holder executes ActRelease. It hands the
+// lock to the first waiter: if that waiter is running it resumes
+// immediately; otherwise the lock is reserved for it.
+func (l *Spinlock) release(v *VCPU, now sim.Time) {
+	if l.holder != v {
+		panic(fmt.Sprintf("vmm: VCPU %s releasing spinlock %d it does not hold", v, l.id))
+	}
+	l.holder = nil
+	if len(l.waiters) == 0 {
+		return
+	}
+	w := l.waiters[0]
+	copy(l.waiters, l.waiters[1:])
+	l.waiters = l.waiters[:len(l.waiters)-1]
+	if w.v.state == StateRunning {
+		l.holder = w.v
+		l.finishAcquire(w.v, now)
+		w.v.resumeFromSpin()
+		return
+	}
+	// Waiter is descheduled (preempted mid-spin): reserve the lock; the
+	// waiter completes the acquisition when next dispatched. This is the
+	// latency that shrinks when other VMs' slices shrink.
+	l.granted = w.v
+}

@@ -1,0 +1,120 @@
+package vmm
+
+import (
+	"fmt"
+
+	"atcsched/internal/cachemodel"
+	"atcsched/internal/diskmodel"
+	"atcsched/internal/netmodel"
+	"atcsched/internal/sim"
+)
+
+// World is a whole simulated cluster: the engine, the physical fabric,
+// and the nodes. Construct it, create VMs and install their processes,
+// then call Start and drive the engine.
+type World struct {
+	Eng    *sim.Engine
+	Fabric *netmodel.Fabric
+	nodes  []*Node
+	vms    []*VM
+
+	nextVMID   int
+	nextVCPUID int
+	started    bool
+	tracer     *Tracer
+}
+
+// SetTracer attaches a scheduling tracer (nil detaches). Attach before
+// Start to capture the whole run.
+func (w *World) SetTracer(t *Tracer) { w.tracer = t }
+
+// Tracer returns the attached tracer (nil when none).
+func (w *World) Tracer() *Tracer { return w.tracer }
+
+// NewWorld builds nNodes identical nodes, each with its own scheduler
+// instance produced by factory.
+func NewWorld(nNodes int, ncfg NodeConfig, netCfg netmodel.Config, factory SchedulerFactory) (*World, error) {
+	if nNodes <= 0 {
+		return nil, fmt.Errorf("vmm: need at least one node, got %d", nNodes)
+	}
+	if err := ncfg.validate(); err != nil {
+		return nil, err
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("vmm: nil scheduler factory")
+	}
+	eng := sim.New()
+	w := &World{
+		Eng:    eng,
+		Fabric: netmodel.New(eng, nNodes, netCfg),
+	}
+	for i := 0; i < nNodes; i++ {
+		n := &Node{world: w, id: i, cfg: ncfg, eng: eng}
+		for j := 0; j < ncfg.PCPUs; j++ {
+			p := &PCPU{
+				node:    n,
+				idx:     j,
+				cache:   cachemodel.New(ncfg.Cache),
+				clients: make(map[*VCPU]*cachemodel.Client),
+			}
+			p.initFns()
+			n.pcpus = append(n.pcpus, p)
+		}
+		n.backend = &Backend{node: n, disk: diskmodel.New(eng, ncfg.Disk)}
+		n.dom0 = n.newVM(fmt.Sprintf("dom0-%d", i), ClassDom0, ncfg.Dom0VCPUs, ncfg.Dom0Footprint, ncfg.Dom0ColdRate)
+		n.sched = factory(n)
+		if n.sched == nil {
+			return nil, fmt.Errorf("vmm: factory returned nil scheduler for node %d", i)
+		}
+		w.nodes = append(w.nodes, n)
+	}
+	return w, nil
+}
+
+// MustNewWorld is NewWorld that panics on error (tests, examples).
+func MustNewWorld(nNodes int, ncfg NodeConfig, netCfg netmodel.Config, factory SchedulerFactory) *World {
+	w, err := NewWorld(nNodes, ncfg, netCfg, factory)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Nodes returns the world's nodes (do not mutate).
+func (w *World) Nodes() []*Node { return w.nodes }
+
+// Node returns node i.
+func (w *World) Node(i int) *Node { return w.nodes[i] }
+
+// VMs returns every VM in the world, dom0s included.
+func (w *World) VMs() []*VM { return w.vms }
+
+// GuestVMs returns every guest VM in the world.
+func (w *World) GuestVMs() []*VM {
+	var out []*VM
+	for _, vm := range w.vms {
+		if vm.class != ClassDom0 {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+// Start arms timers and performs the initial dispatch on every node. It
+// must be called exactly once, after all VMs and processes are set up.
+func (w *World) Start() {
+	if w.started {
+		panic("vmm: World.Start called twice")
+	}
+	w.started = true
+	for _, n := range w.nodes {
+		n.start()
+	}
+}
+
+// RunUntil drives the engine to the given virtual time.
+func (w *World) RunUntil(t sim.Time) { w.Eng.RunUntil(t) }
+
+// Stop halts the engine (e.g., when the experiment's completion condition
+// is met from inside a callback).
+func (w *World) Stop() { w.Eng.Stop() }

@@ -1,0 +1,84 @@
+// Package vmmtest provides small deterministic processes and world
+// builders shared by the scheduler test suites.
+package vmmtest
+
+import (
+	"atcsched/internal/netmodel"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+)
+
+// SeqProc yields a fixed action sequence, then Done.
+type SeqProc struct {
+	Actions []vmm.Action
+	i       int
+}
+
+// Next implements vmm.Process.
+func (p *SeqProc) Next() vmm.Action {
+	if p.i >= len(p.Actions) {
+		return vmm.Done()
+	}
+	a := p.Actions[p.i]
+	p.i++
+	return a
+}
+
+// Seq installs a one-shot action sequence on v.
+func Seq(v *vmm.VCPU, actions ...vmm.Action) {
+	v.SetProcess(&SeqProc{Actions: actions}, nil)
+}
+
+// Loop installs an action sequence that restarts forever on v.
+func Loop(v *vmm.VCPU, actions ...vmm.Action) {
+	restart := func(*vmm.VCPU) vmm.Process { return &SeqProc{Actions: actions} }
+	v.SetProcess(&SeqProc{Actions: actions}, restart)
+}
+
+// LoopN installs an action sequence that restarts n times total, calling
+// onRound after each completion.
+func LoopN(v *vmm.VCPU, n int, onRound func(round int, now sim.Time), eng *sim.Engine, actions ...vmm.Action) {
+	round := 0
+	v.SetProcess(&SeqProc{Actions: actions}, func(*vmm.VCPU) vmm.Process {
+		round++
+		if onRound != nil {
+			onRound(round, eng.Now())
+		}
+		if round >= n {
+			return nil
+		}
+		return &SeqProc{Actions: actions}
+	})
+}
+
+// World builds a world of nodes×pcpus with the given scheduler factory
+// and one dom0 VCPU per node.
+func World(nodes, pcpus int, factory vmm.SchedulerFactory) *vmm.World {
+	cfg := vmm.DefaultNodeConfig()
+	cfg.PCPUs = pcpus
+	cfg.Dom0VCPUs = 1
+	return vmm.MustNewWorld(nodes, cfg, netmodel.DefaultConfig(), factory)
+}
+
+// SpinPair wires a sustained lock-holder-preemption generator into a
+// node: both VCPUs of a parallel VM hammer one spinlock (compute 150 µs,
+// hold it for 100 µs) while a hog VM burns CPU on the same PCPUs. With a
+// 40% critical-section duty cycle, slice-end preemptions regularly land
+// mid-critical-section, so the sibling spins for whole slices of the
+// other VMs — the paper's Figure 3 amplification, at a realistic locking
+// rate. It returns the parallel VM and the contended lock.
+func SpinPair(node *vmm.Node, slice sim.Time) (*vmm.VM, *vmm.Spinlock) {
+	vmA := node.NewVM("spin-a", vmm.ClassParallel, 2, 0, 1)
+	vmB := node.NewVM("spin-hog", vmm.ClassNonParallel, 1, 0, 1)
+	l := vmA.NewLock()
+	for _, v := range vmA.VCPUs() {
+		Loop(v,
+			vmm.Compute(150*sim.Microsecond),
+			vmm.Acquire(l),
+			vmm.Compute(100*sim.Microsecond),
+			vmm.Release(l),
+		)
+	}
+	Loop(vmB.VCPU(0), vmm.Compute(10*slice))
+	return vmA, l
+}
