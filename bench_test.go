@@ -13,9 +13,11 @@ package atcsched
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"atcsched/internal/cluster"
 	"atcsched/internal/experiment"
+	"atcsched/internal/rng"
 	"atcsched/internal/sched/atc"
 	"atcsched/internal/sim"
 	"atcsched/internal/workload"
@@ -53,6 +55,44 @@ func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
 func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
 func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
 func BenchmarkTable1(b *testing.B) { benchExperiment(b, "tab1") }
+
+// BenchmarkEngineEventThroughput measures pure event-queue churn — the
+// simulator's innermost hot path — in isolation: a self-perpetuating
+// population of events with pseudorandom delays, plus a cancel every
+// eighth firing to exercise mid-heap removal and the free list. It
+// reports steady-state allocations (should be ~0 thanks to event
+// recycling) and events per wall-clock second, so heap and pooling
+// changes are measurable without running a whole scenario.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	eng := sim.New()
+	src := rng.New(1)
+	const outstanding = 512
+	budget := b.N
+	var churn func()
+	churn = func() {
+		if budget <= 0 {
+			return
+		}
+		budget--
+		h := eng.Schedule(sim.Time(1+src.Intn(1000))*sim.Microsecond, churn)
+		if budget%8 == 0 {
+			// Cancel-and-replace: exercises remove() from arbitrary slots.
+			eng.Cancel(h)
+			eng.Schedule(sim.Time(1+src.Intn(1000))*sim.Microsecond, churn)
+		}
+	}
+	for i := 0; i < outstanding; i++ {
+		eng.Schedule(sim.Time(1+src.Intn(1000))*sim.Microsecond, churn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	eng.Run()
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(eng.Executed())/elapsed, "events/s")
+	}
+}
 
 // benchScenario runs one type-A scenario and reports simulated events
 // per second — the simulator's own throughput figure.

@@ -6,32 +6,67 @@
 //	experiments -list
 //	experiments -exp fig10 -scale medium
 //	experiments -all -scale small -format csv
+//	experiments -exp fig10 -parallel 8 -cpuprofile cpu.out
 //
 // Scales: small (quick check), medium (full structure, reduced nodes),
 // full (the paper's 32-node testbed dimensions; slow).
+//
+// Experiment cells (independent simulation runs) fan across a worker
+// pool sized by -parallel (default: GOMAXPROCS); tables are
+// byte-identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"atcsched/internal/experiment"
+	"atcsched/internal/runner"
 )
 
 func main() {
 	var (
-		expID  = flag.String("exp", "", "experiment id(s), comma-separated (fig1, fig2, fig5, fig8, euclid, fig9, fig10, fig11, fig12, fig13, fig14, tab1; extensions: score, sens, ablate)")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		scale  = flag.String("scale", "small", "small | medium | full")
-		seed   = flag.Uint64("seed", 1, "workload seed")
-		format = flag.String("format", "text", "text | csv | markdown")
-		outDir = flag.String("out", "", "also write each table as CSV into this directory")
+		expID      = flag.String("exp", "", "experiment id(s), comma-separated (fig1, fig2, fig5, fig8, euclid, fig9, fig10, fig11, fig12, fig13, fig14, tab1; extensions: score, sens, ablate)")
+		all        = flag.Bool("all", false, "run every experiment")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		scale      = flag.String("scale", "small", "small | medium | full")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		format     = flag.String("format", "text", "text | csv | markdown")
+		outDir     = flag.String("out", "", "also write each table as CSV into this directory")
+		parallel   = flag.Int("parallel", 0, "worker-pool width for experiment cells (0 = GOMAXPROCS, 1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	runner.SetDefaultWorkers(*parallel)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiment.All() {
@@ -59,6 +94,7 @@ func main() {
 		fatal(fmt.Errorf("specify -exp <id> or -all (use -list to enumerate)"))
 	}
 
+	runStart := time.Now()
 	for _, e := range exps {
 		start := time.Now()
 		fmt.Printf("== %s: %s [scale=%s seed=%d]\n", e.ID, e.Title, sc.Name, *seed)
@@ -83,6 +119,8 @@ func main() {
 		}
 		fmt.Printf("-- %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	fmt.Printf("== total: %d experiment(s), %d cell(s) in %v (workers=%d)\n",
+		len(exps), runner.Cells(), time.Since(runStart).Round(time.Millisecond), runner.DefaultWorkers())
 }
 
 func writeCSV(dir, name, csv string) error {

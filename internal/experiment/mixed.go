@@ -6,6 +6,7 @@ import (
 	"atcsched/internal/cluster"
 	"atcsched/internal/report"
 	"atcsched/internal/rng"
+	"atcsched/internal/runner"
 	"atcsched/internal/sim"
 	"atcsched/internal/trace"
 	"atcsched/internal/vmm"
@@ -99,14 +100,14 @@ func init() {
 		ID:    "fig2",
 		Title: "Figure 2 — CS impact on non-parallel applications (vs CR)",
 		Run: func(sc Scale, seed uint64) ([]*report.Table, error) {
-			cr, err := runFig2Approach(sc, cluster.CR, seed)
+			approaches := []cluster.Approach{cluster.CR, cluster.CS}
+			res, err := runner.Map(len(approaches), func(i int) (fig2Result, error) {
+				return runFig2Approach(sc, approaches[i], seed)
+			})
 			if err != nil {
 				return nil, err
 			}
-			cs, err := runFig2Approach(sc, cluster.CS, seed)
-			if err != nil {
-				return nil, err
-			}
+			cr, cs := res[0], res[1]
 			t := report.New(
 				"Non-parallel metrics under CR and CS (paper: ping RTT 1.75x, sphinx3 1.11x under CS; stream slightly lower; bonnie++ unchanged)",
 				"Application", "Metric", "CR", "CS", "CS/CR")
@@ -215,15 +216,19 @@ func runFig11(sc Scale, seed uint64) ([]*report.Table, error) {
 		return nil, err
 	}
 	approaches := []cluster.Approach{cluster.CR, cluster.BS, cluster.CS, cluster.DSS, cluster.ATC}
-	// results[approach][entity] = mean exec seconds.
-	results := make(map[cluster.Approach][]float64)
-	var names []string
-	for _, a := range approaches {
+	type fig11Cell struct {
+		row   []float64 // mean exec seconds per entity
+		names []string
+	}
+	// One full Table-I scenario per approach; the five runs are
+	// independent worlds, so fan them across the worker pool.
+	cells, err := runner.Map(len(approaches), func(ai int) (fig11Cell, error) {
+		a := approaches[ai]
 		cfg := cluster.DefaultConfig(sc.MixNodes, a)
 		cfg.Seed = seed
 		s, err := cluster.New(cfg)
 		if err != nil {
-			return nil, err
+			return fig11Cell{}, err
 		}
 		pl := newPlacer(sc.MixNodes)
 		var runs []*workload.ParallelRun
@@ -251,15 +256,23 @@ func runFig11(sc Scale, seed uint64) ([]*report.Table, error) {
 			}
 		}
 		if !s.Go(sc.Horizon) {
-			return nil, fmt.Errorf("fig11/%s: horizon exceeded", a)
+			return fig11Cell{}, fmt.Errorf("fig11/%s: horizon exceeded", a)
 		}
 		row := make([]float64, len(runs))
 		for i, r := range runs {
 			row[i] = r.MeanTime()
 		}
-		results[a] = row
-		names = rowNames
+		return fig11Cell{row: row, names: rowNames}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	// results[approach][entity] = mean exec seconds.
+	results := make(map[cluster.Approach][]float64, len(approaches))
+	for i, a := range approaches {
+		results[a] = cells[i].row
+	}
+	names := cells[0].names
 	t := report.New(
 		"Normalized execution time per virtual cluster (vs CR); paper Fig. 11: ATC best everywhere (e.g. VC1 sp: ATC 0.25, DSS 0.45, CS 0.49, BS 0.9)",
 		"Entity", "CR(s)", "BS", "CS", "DSS", "ATC")

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"atcsched/internal/runner"
+)
+
+// renderWithWorkers runs one experiment at the given pool width and
+// returns every table rendered to text, exactly as the CLI prints it.
+func renderWithWorkers(t *testing.T, id string, workers int) string {
+	t.Helper()
+	runner.SetDefaultWorkers(workers)
+	defer runner.SetDefaultWorkers(0)
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		sb.WriteString(tb.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestParallelEquivalence is the PR's core invariant: fanning the
+// experiment cells across a worker pool must not change a byte of the
+// rendered tables. fig5 covers the (kernel × slice) grids, fig10 the
+// (kernel × nodes × approach) cube.
+func TestParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run")
+	}
+	for _, id := range []string{"fig5", "fig10"} {
+		serial := renderWithWorkers(t, id, 1)
+		parallel := renderWithWorkers(t, id, 4)
+		if serial != parallel {
+			t.Errorf("%s: parallel rendering differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial, parallel)
+		}
+	}
+}
+
+// TestMixedMemoConcurrent hammers the fig12/13/14 shared-scenario memo
+// from many goroutines: every caller must get the same *mixedResult and
+// the scenario must run exactly once.
+func TestMixedMemoConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run")
+	}
+	const callers = 8
+	results := make([]*mixedResult, callers)
+	errs := make([]error, callers)
+	done := make(chan int, callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			results[i], errs[i] = mixedNonparallel(Small, 7)
+			done <- i
+		}(i)
+	}
+	for i := 0; i < callers; i++ {
+		<-done
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Errorf("caller %d got a different result pointer", i)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"atcsched/internal/metrics"
 	"atcsched/internal/paperdata"
 	"atcsched/internal/report"
+	"atcsched/internal/runner"
 	"atcsched/internal/sim"
 	"atcsched/internal/validate"
 	"atcsched/internal/workload"
@@ -30,16 +31,16 @@ func runScore(sc Scale, seed uint64) ([]*report.Table, error) {
 	// --- Figure 10 ordering and gain band (lu at the largest step).
 	nodes := sc.NodeSteps[len(sc.NodeSteps)-1]
 	measured := map[string]float64{"CR": 1}
-	cr, err := typeAExec(sc, cluster.CR, "lu", nodes, seed)
+	approaches := []cluster.Approach{cluster.CR, cluster.BS, cluster.CS, cluster.DSS, cluster.ATC}
+	execs, err := runner.Map(len(approaches), func(i int) (float64, error) {
+		return typeAExec(sc, approaches[i], "lu", nodes, seed)
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, a := range []cluster.Approach{cluster.BS, cluster.CS, cluster.DSS, cluster.ATC} {
-		v, err := typeAExec(sc, a, "lu", nodes, seed)
-		if err != nil {
-			return nil, err
-		}
-		measured[string(a)] = v / cr
+	cr := execs[0]
+	for i, a := range approaches[1:] {
+		measured[string(a)] = execs[i+1] / cr
 	}
 	paperRank := map[string]float64{}
 	for i, name := range paperdata.Fig10.Ordering {
@@ -103,16 +104,18 @@ func runScore(sc Scale, seed uint64) ([]*report.Table, error) {
 		bonnieRatio > 0.8 && bonnieRatio < 1.2)
 
 	// --- Figure 5: spin-latency/exec correlation for lu.
-	var execs, spins []float64
-	for _, slice := range sc.SliceSweep {
-		pt, err := runSweepPoint(sc, "lu", workload.ClassB, slice, seed)
-		if err != nil {
-			return nil, err
-		}
-		execs = append(execs, pt.exec)
+	pts, err := runner.Map(len(sc.SliceSweep), func(i int) (sweepPoint, error) {
+		return runSweepPoint(sc, "lu", workload.ClassB, sc.SliceSweep[i], seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sweepExecs, spins []float64
+	for _, pt := range pts {
+		sweepExecs = append(sweepExecs, pt.exec)
 		spins = append(spins, pt.spin.Seconds())
 	}
-	r, err := metrics.Pearson(spins, execs)
+	r, err := metrics.Pearson(spins, sweepExecs)
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +123,7 @@ func runScore(sc Scale, seed uint64) ([]*report.Table, error) {
 		fmt.Sprintf("Pearson > %.1f", paperdata.Fig5.MinPearson),
 		fmt.Sprintf("%.3f", r),
 		r > paperdata.Fig5.MinPearson)
-	sweepGain := execs[0] / metrics.Min(execs)
+	sweepGain := sweepExecs[0] / metrics.Min(sweepExecs)
 	card.Add("fig5 slice-sweep improvement (lu)",
 		fmt.Sprintf("up to ~%.0fx", paperdata.Fig5.MaxGain),
 		fmt.Sprintf("%.1fx", sweepGain),

@@ -7,6 +7,7 @@ import (
 	"atcsched/internal/core"
 	"atcsched/internal/metrics"
 	"atcsched/internal/report"
+	"atcsched/internal/runner"
 	"atcsched/internal/sim"
 	"atcsched/internal/vmm"
 	"atcsched/internal/workload"
@@ -70,18 +71,25 @@ func init() {
 		ID:    "fig5",
 		Title: "Figure 5 — spinlock latency and execution time vs time slice (six kernels)",
 		Run: func(sc Scale, seed uint64) ([]*report.Table, error) {
+			kernels := fig5Kernels(sc)
+			// Every (kernel, slice) point is an independent two-node
+			// scenario; sweep the whole grid through the worker pool and
+			// render from the ordered results.
+			grid, err := runner.Grid(len(kernels), len(sc.SliceSweep), func(r, c int) (sweepPoint, error) {
+				return runSweepPoint(sc, kernels[r], workload.ClassB, sc.SliceSweep[c], seed)
+			})
+			if err != nil {
+				return nil, err
+			}
 			var tables []*report.Table
-			for _, kernel := range fig5Kernels(sc) {
+			for ki, kernel := range kernels {
 				t := report.New(
 					fmt.Sprintf("%s.B under CR with fixed slices (paper: both series fall together; Pearson > 0.9)", kernel),
 					"Slice", "Exec(s)", "Normalized", "SpinLatency")
 				var execs, spins []float64
 				var base float64
-				for _, slice := range sc.SliceSweep {
-					pt, err := runSweepPoint(sc, kernel, workload.ClassB, slice, seed)
-					if err != nil {
-						return nil, err
-					}
+				for si, slice := range sc.SliceSweep {
+					pt := grid[ki][si]
 					if base == 0 {
 						base = pt.exec
 					}
@@ -147,24 +155,27 @@ func init() {
 // Euclidean optimizer consumes.
 func runFig8(sc Scale, seed uint64) ([]*report.Table, map[string]map[sim.Time]float64, error) {
 	kernels := fig5Kernels(sc)
+	// Column 0 is the 30 ms baseline, columns 1.. the short sweep; the
+	// whole (kernel × slice) grid fans across the worker pool.
+	slices := append([]sim.Time{30 * sim.Millisecond}, sc.ShortSweep...)
+	grid, err := runner.Grid(len(kernels), len(slices), func(r, c int) (sweepPoint, error) {
+		return runSweepPoint(sc, kernels[r], workload.ClassC, slices[c], seed)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	perApp := make(map[string]map[sim.Time]float64)
 	var tables []*report.Table
-	for _, kernel := range kernels {
-		base, err := runSweepPoint(sc, kernel, workload.ClassC, 30*sim.Millisecond, seed)
-		if err != nil {
-			return nil, nil, err
-		}
+	for ki, kernel := range kernels {
+		base := grid[ki][0]
 		t := report.New(
 			fmt.Sprintf("%s.C under CR with short slices (paper: execution time re-inflects below ~0.2ms as LLC misses grow)", kernel),
 			"Slice", "Exec(s)", "Normalized", "SpinLatency", "LLC misses", "CtxSw")
 		t.Add("30.000ms", report.F(base.exec), "1.000", base.spin.String(), report.I(base.misses), report.I(base.ctxsw))
 		perApp[kernel] = make(map[sim.Time]float64)
 		var norms []float64
-		for _, slice := range sc.ShortSweep {
-			pt, err := runSweepPoint(sc, kernel, workload.ClassC, slice, seed)
-			if err != nil {
-				return nil, nil, err
-			}
+		for si, slice := range sc.ShortSweep {
+			pt := grid[ki][si+1]
 			norm := pt.exec / base.exec
 			perApp[kernel][slice] = norm
 			norms = append(norms, norm)
@@ -183,17 +194,21 @@ func runFig8(sc Scale, seed uint64) ([]*report.Table, map[string]map[sim.Time]fl
 // global slice swept. sphinx3 should slow down, ping should speed up,
 // stream should degrade slightly.
 func runFig9(sc Scale, seed uint64) ([]*report.Table, error) {
-	t := report.New(
-		"Non-parallel applications vs time slice (paper Fig. 9: sphinx3 time grows, ping RTT falls, stream dips slightly)",
-		"Slice", "sphinx3(s)", "ping RTT", "stream MB/s")
+	type fig9Row struct {
+		sphinx float64
+		ping   float64
+		stream float64
+	}
 	measure := 30 * sim.Second
-	for _, slice := range sc.SliceSweep {
+	// One independent scenario per slice setting; fan across the pool.
+	rows, err := runner.Map(len(sc.SliceSweep), func(i int) (fig9Row, error) {
+		slice := sc.SliceSweep[i]
 		cfg := cluster.DefaultConfig(2, cluster.CR)
 		cfg.Sched.FixedSlice = slice
 		cfg.Seed = seed
 		s, err := cluster.New(cfg)
 		if err != nil {
-			return nil, err
+			return fig9Row{}, err
 		}
 		// Three background virtual clusters of two 8-VCPU VMs. Their
 		// ranks spin on receives indefinitely (RecvPoll < 0): the paper's
@@ -212,7 +227,16 @@ func runFig9(sc Scale, seed uint64) ([]*report.Table, error) {
 		stream := workload.NewStreamJob(s.World.Eng, npA.VCPU(1))
 		ping := workload.NewPingJob(s.World.Eng, npB, 0, npA, 2, 10*sim.Millisecond)
 		s.GoFor(measure)
-		t.Add(slice.String(), report.F(sphinx.MeanTime()), report.Ms(ping.MeanRTT()), fmt.Sprintf("%.0f", stream.BandwidthMBps()))
+		return fig9Row{sphinx: sphinx.MeanTime(), ping: ping.MeanRTT(), stream: stream.BandwidthMBps()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.New(
+		"Non-parallel applications vs time slice (paper Fig. 9: sphinx3 time grows, ping RTT falls, stream dips slightly)",
+		"Slice", "sphinx3(s)", "ping RTT", "stream MB/s")
+	for i, slice := range sc.SliceSweep {
+		t.Add(slice.String(), report.F(rows[i].sphinx), report.Ms(rows[i].ping), fmt.Sprintf("%.0f", rows[i].stream))
 	}
 	return []*report.Table{t}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"atcsched/internal/cluster"
 	"atcsched/internal/metrics"
 	"atcsched/internal/report"
+	"atcsched/internal/runner"
 	"atcsched/internal/workload"
 )
 
@@ -52,15 +53,17 @@ func init() {
 			t := report.New(
 				"Normalized execution time of lu (vs CR at each size); paper: CS degrades from 0.30 at 2 VMs to 0.44 at 32 VMs",
 				"VMs per VC", "CR", "CS", "CS normalized")
-			for _, nodes := range sc.NodeSteps {
-				cr, err := typeAExec(sc, cluster.CR, "lu", nodes, seed)
-				if err != nil {
-					return nil, err
-				}
-				cs, err := typeAExec(sc, cluster.CS, "lu", nodes, seed)
-				if err != nil {
-					return nil, err
-				}
+			approaches := []cluster.Approach{cluster.CR, cluster.CS}
+			// Each (node count, approach) cell is an independent cluster
+			// run; fan them across the worker pool.
+			cells, err := runner.Grid(len(sc.NodeSteps), len(approaches), func(r, c int) (float64, error) {
+				return typeAExec(sc, approaches[c], "lu", sc.NodeSteps[r], seed)
+			})
+			if err != nil {
+				return nil, err
+			}
+			for i, nodes := range sc.NodeSteps {
+				cr, cs := cells[i][0], cells[i][1]
 				t.Add(report.I(nodes), report.F(cr)+"s", report.F(cs)+"s", report.F(cs/cr))
 			}
 			t.AddNote("Shape check: CS < CR everywhere, but CS/CR grows with cluster size (CS lacks scalability).")
@@ -72,24 +75,30 @@ func init() {
 		ID:    "fig10",
 		Title: "Figure 10 — six kernels under BS/CS/DSS/ATC vs CR, scaling physical nodes",
 		Run: func(sc Scale, seed uint64) ([]*report.Table, error) {
-			approaches := []cluster.Approach{cluster.BS, cluster.CS, cluster.DSS, cluster.ATC}
+			approaches := []cluster.Approach{cluster.CR, cluster.BS, cluster.CS, cluster.DSS, cluster.ATC}
+			kernels := workload.NPBKernels()
+			steps := sc.NodeSteps
+			// The full (kernel × node count × approach) cube is independent
+			// cells; flatten it through one pool dispatch.
+			nA := len(approaches)
+			cube, err := runner.Map(len(kernels)*len(steps)*nA, func(i int) (float64, error) {
+				k, rest := i/(len(steps)*nA), i%(len(steps)*nA)
+				return typeAExec(sc, approaches[rest%nA], kernels[k], steps[rest/nA], seed)
+			})
+			if err != nil {
+				return nil, err
+			}
 			var tables []*report.Table
-			for _, kernel := range workload.NPBKernels() {
+			for k, kernel := range kernels {
 				t := report.New(
 					fmt.Sprintf("Normalized execution time of %s.B (vs CR at each node count)", kernel),
 					"Nodes", "CR(s)", "BS", "CS", "DSS", "ATC")
-				for _, nodes := range sc.NodeSteps {
-					cr, err := typeAExec(sc, cluster.CR, kernel, nodes, seed)
-					if err != nil {
-						return nil, err
-					}
+				for si, nodes := range steps {
+					cell := cube[(k*len(steps)+si)*nA:]
+					cr := cell[0]
 					row := []string{report.I(nodes), report.F(cr)}
-					for _, a := range approaches {
-						v, err := typeAExec(sc, a, kernel, nodes, seed)
-						if err != nil {
-							return nil, err
-						}
-						row = append(row, report.F(v/cr))
+					for a := 1; a < nA; a++ {
+						row = append(row, report.F(cell[a]/cr))
 					}
 					t.Add(row...)
 				}

@@ -1,0 +1,147 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		got, err := MapN(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := Map(-1, func(i int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	errA := errors.New("cell 3")
+	errB := errors.New("cell 7")
+	for _, workers := range []int{1, 4} {
+		_, err := MapN(workers, 10, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, errA
+			case 7:
+				return 0, errB
+			}
+			return i, nil
+		})
+		if err != errA {
+			t.Errorf("workers=%d: err = %v, want cell 3's", workers, err)
+		}
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic swallowed")
+		}
+	}()
+	MapN(4, 8, func(i int) (int, error) {
+		if i == 5 {
+			panic("boom")
+		}
+		return i, nil
+	})
+}
+
+func TestGridShape(t *testing.T) {
+	got, err := Grid(3, 4, func(r, c int) (string, error) {
+		return fmt.Sprintf("%d/%d", r, c), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || len(got[0]) != 4 {
+		t.Fatalf("shape %dx%d", len(got), len(got[0]))
+	}
+	for r := range got {
+		for c := range got[r] {
+			if got[r][c] != fmt.Sprintf("%d/%d", r, c) {
+				t.Fatalf("got[%d][%d] = %q", r, c, got[r][c])
+			}
+		}
+	}
+}
+
+func TestConcurrencyBounded(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	_, err := MapN(workers, 50, func(i int) (int, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > workers {
+		t.Errorf("peak concurrency %d > %d workers", peak.Load(), workers)
+	}
+}
+
+func TestSeedDeterministicAndDistinct(t *testing.T) {
+	a := Seed(1, 0, 0)
+	if a != Seed(1, 0, 0) {
+		t.Error("Seed not deterministic")
+	}
+	seen := map[uint64]bool{a: true}
+	for _, coords := range [][]int{{0, 1}, {1, 0}, {1, 1}, {2}, {0}, {0, 0, 0}} {
+		s := Seed(1, coords...)
+		if seen[s] {
+			t.Errorf("Seed collision at %v", coords)
+		}
+		seen[s] = true
+	}
+	if Seed(1) == Seed(2) {
+		t.Error("base seed ignored")
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	old := int(defaultWorkers.Load())
+	defer SetDefaultWorkers(old)
+	SetDefaultWorkers(5)
+	if DefaultWorkers() != 5 {
+		t.Errorf("DefaultWorkers = %d", DefaultWorkers())
+	}
+	SetDefaultWorkers(0)
+	if DefaultWorkers() < 1 {
+		t.Errorf("unset DefaultWorkers = %d", DefaultWorkers())
+	}
+}
+
+func TestCellsCounts(t *testing.T) {
+	before := Cells()
+	if _, err := MapN(2, 9, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := Cells() - before; got != 9 {
+		t.Errorf("cells counted = %d, want 9", got)
+	}
+}

@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -86,40 +85,117 @@ func (h Handle) At() Time {
 // Canceled reports whether the event was canceled or already fired.
 func (h Handle) Canceled() bool { return !h.live() || h.ev.canceled }
 
-type eventHeap []*Event
+// eventQueue is a 4-ary min-heap of events ordered by (at, seq). The
+// heap is the simulator's hottest data structure: every Schedule, Step
+// and Cancel touches it. A 4-ary layout is ~half as deep as a binary
+// heap (fewer comparisons and cache lines per sift), and the inlined
+// sift loops avoid container/heap's per-element interface dispatch.
+// Children of node i live at 4i+1..4i+4; each *Event carries its slot
+// in index so Cancel can remove in O(log₄ n).
+type eventQueue []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports heap order: earlier time wins, sequence breaks ties so
+// same-instant events fire in scheduling order.
+func before(x, y *Event) bool {
+	if x.at != y.at {
+		return x.at < y.at
 	}
-	return h[i].seq < h[j].seq
+	return x.seq < y.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// push appends ev and restores heap order.
+func (q *eventQueue) push(ev *Event) {
+	*q = append(*q, ev)
+	q.siftUp(len(*q) - 1)
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+// popMin removes and returns the earliest event.
+func (q *eventQueue) popMin() *Event {
+	a := *q
+	min := a[0]
+	n := len(a) - 1
+	last := a[n]
+	a[n] = nil
+	a = a[:n]
+	*q = a
+	if n > 0 {
+		a[0] = last
+		q.siftDown(0)
+	}
+	min.index = -1
+	return min
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+
+// remove deletes the event at slot i (Cancel's path).
+func (q *eventQueue) remove(i int) {
+	a := *q
+	ev := a[i]
+	n := len(a) - 1
+	last := a[n]
+	a[n] = nil
+	a = a[:n]
+	*q = a
+	if i < n {
+		a[i] = last
+		q.siftDown(i)
+		if last.index == i {
+			q.siftUp(i)
+		}
+	}
 	ev.index = -1
-	*h = old[:n-1]
-	return ev
+}
+
+func (q *eventQueue) siftUp(i int) {
+	a := *q
+	ev := a[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !before(ev, a[p]) {
+			break
+		}
+		a[i] = a[p]
+		a[i].index = i
+		i = p
+	}
+	a[i] = ev
+	ev.index = i
+}
+
+func (q *eventQueue) siftDown(i int) {
+	a := *q
+	n := len(a)
+	ev := a[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if before(a[c], a[best]) {
+				best = c
+			}
+		}
+		if !before(a[best], ev) {
+			break
+		}
+		a[i] = a[best]
+		a[i].index = i
+		i = best
+	}
+	a[i] = ev
+	ev.index = i
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // New.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	queue   eventQueue
 	seq     uint64
 	stopped bool
 	// executed counts events that have fired, for diagnostics.
@@ -162,7 +238,7 @@ func (e *Engine) At(t Time, fn func()) Handle {
 		ev = &Event{at: t, seq: e.seq, fn: fn, index: -1}
 	}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return Handle{ev: ev, gen: ev.gen}
 }
 
@@ -184,8 +260,7 @@ func (e *Engine) Cancel(h Handle) {
 	ev := h.ev
 	ev.canceled = true
 	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
-		ev.index = -1
+		e.queue.remove(ev.index)
 	}
 	ev.fn = nil
 	e.free = append(e.free, ev)
@@ -195,7 +270,7 @@ func (e *Engine) Cancel(h Handle) {
 // empty or the engine has been stopped.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.queue.popMin()
 		if ev.canceled {
 			continue
 		}
@@ -250,7 +325,7 @@ func (e *Engine) peek() *Event {
 		if !ev.canceled {
 			return ev
 		}
-		heap.Pop(&e.queue)
+		e.queue.popMin()
 	}
 	return nil
 }

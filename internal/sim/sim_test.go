@@ -296,3 +296,73 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+// TestEngineHeapStress drives the 4-ary event queue through a large
+// interleaved push/cancel/fire sequence and checks the global firing
+// order, exercising deep sifts and mid-heap removals that the small
+// property tests rarely reach.
+func TestEngineHeapStress(t *testing.T) {
+	e := New()
+	const n = 20000
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	var fired []Time
+	handles := make([]Handle, 0, n)
+	for i := 0; i < n; i++ {
+		d := Time(next() % 1e6)
+		handles = append(handles, e.Schedule(d, func() { fired = append(fired, e.Now()) }))
+		// Cancel ~1/4 of the queued events, from arbitrary heap slots.
+		if next()%4 == 0 {
+			e.Cancel(handles[int(next()%uint64(len(handles)))])
+		}
+	}
+	canceled := 0
+	for _, h := range handles {
+		if h.Canceled() {
+			canceled++
+		}
+	}
+	e.Run()
+	if len(fired)+canceled != n {
+		t.Fatalf("fired %d + canceled %d != scheduled %d", len(fired), canceled, n)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("order violated at %d: %v after %v", i, fired[i], fired[i-1])
+		}
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d after drain", e.Pending())
+	}
+}
+
+// TestEngineSteadyStateAllocs checks that event recycling keeps the
+// schedule→fire→reschedule loop allocation-free once warm.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	e := New()
+	var churn func()
+	budget := 0
+	churn = func() {
+		if budget > 0 {
+			budget--
+			e.Schedule(Time(budget%311)+1, churn)
+		}
+	}
+	// Warm the free list and the queue's backing array.
+	budget = 2000
+	e.Schedule(1, churn)
+	e.Run()
+	avg := testing.AllocsPerRun(50, func() {
+		budget = 100
+		e.Schedule(1, churn)
+		e.Run()
+	})
+	if avg > 1 {
+		t.Errorf("steady-state allocs per 101-event burst = %.1f, want ~0", avg)
+	}
+}
