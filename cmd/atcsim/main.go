@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -27,37 +28,49 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "atcsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes one scenario, writing results to stdout.
+// Split from main so tests can drive the whole command in-process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("atcsim", flag.ContinueOnError)
 	var (
-		specFile = flag.String("f", "", "run a JSON scenario file instead of the flag-built scenario (see examples/scenarios)")
-		nodes    = flag.Int("nodes", 2, "physical nodes")
-		schedArg = flag.String("sched", "ATC", "CR | CS | BS | DSS | VS | ATC")
-		kernel   = flag.String("kernel", "lu", "NPB kernel: lu, is, sp, bt, mg, cg")
-		class    = flag.String("class", "B", "problem class: A, B, C")
-		vcs      = flag.Int("vcs", 4, "identical virtual clusters (one VM per node each)")
-		vcpus    = flag.Int("vcpus", 8, "VCPUs per VM")
-		rounds   = flag.Int("rounds", 3, "measured rounds per cluster")
-		slice    = flag.Float64("slice", 0, "fixed time slice in ms (0 = scheduler default)")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		horizon  = flag.Float64("horizon", 1200, "virtual-time budget in seconds")
-		hogs     = flag.Int("hogs", 0, "CPU-hog non-parallel VMs per node")
-		trace    = flag.String("trace", "", "write a scheduling trace: 'summary', 'text:<file>' or 'csv:<file>'")
-		traceCap = flag.Int("tracecap", 200000, "max trace records retained (ring)")
+		specFile = fs.String("f", "", "run a JSON scenario file instead of the flag-built scenario (see examples/scenarios)")
+		nodes    = fs.Int("nodes", 2, "physical nodes")
+		schedArg = fs.String("sched", "ATC", "CR | CS | BS | DSS | VS | ATC")
+		kernel   = fs.String("kernel", "lu", "NPB kernel: lu, is, sp, bt, mg, cg")
+		class    = fs.String("class", "B", "problem class: A, B, C")
+		vcs      = fs.Int("vcs", 4, "identical virtual clusters (one VM per node each)")
+		vcpus    = fs.Int("vcpus", 8, "VCPUs per VM")
+		rounds   = fs.Int("rounds", 3, "measured rounds per cluster")
+		slice    = fs.Float64("slice", 0, "fixed time slice in ms (0 = scheduler default)")
+		seed     = fs.Uint64("seed", 1, "workload seed")
+		horizon  = fs.Float64("horizon", 1200, "virtual-time budget in seconds")
+		hogs     = fs.Int("hogs", 0, "CPU-hog non-parallel VMs per node")
+		trace    = fs.String("trace", "", "write a scheduling trace: 'summary', 'text:<file>' or 'csv:<file>'")
+		traceCap = fs.Int("tracecap", 200000, "max trace records retained (ring)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *specFile != "" {
 		f, err := os.Open(*specFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		spec, err := scenario.Load(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		res, err := scenario.Build(spec)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		var tracer *vmm.Tracer
 		if *trace != "" {
@@ -66,15 +79,13 @@ func main() {
 		}
 		table, err := res.Run()
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(table.String())
+		fmt.Fprintln(stdout, table.String())
 		if tracer != nil {
-			if err := emitTrace(tracer, *trace); err != nil {
-				fatal(err)
-			}
+			return emitTrace(stdout, tracer, *trace)
 		}
-		return
+		return nil
 	}
 
 	var cls workload.Class
@@ -86,7 +97,7 @@ func main() {
 	case "C":
 		cls = workload.ClassC
 	default:
-		fatal(fmt.Errorf("unknown class %q", *class))
+		return fmt.Errorf("unknown class %q", *class)
 	}
 
 	cfg := cluster.DefaultConfig(*nodes, cluster.Approach(strings.ToUpper(*schedArg)))
@@ -96,7 +107,7 @@ func main() {
 	}
 	s, err := cluster.New(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var tracer *vmm.Tracer
 	if *trace != "" {
@@ -123,10 +134,10 @@ func main() {
 	ok := s.Go(sim.FromSeconds(*horizon))
 	elapsed := time.Since(wall)
 
-	fmt.Printf("scenario: %d nodes x %d PCPUs, %d VCs of %d x %d-VCPU VMs, kernel %s, scheduler %s\n",
+	fmt.Fprintf(stdout, "scenario: %d nodes x %d PCPUs, %d VCs of %d x %d-VCPU VMs, kernel %s, scheduler %s\n",
 		*nodes, cfg.Node.PCPUs, *vcs, *nodes, *vcpus, prof.Name, s.World.Node(0).Scheduler().Name())
 	if !ok {
-		fmt.Println("WARNING: horizon exceeded before all clusters finished")
+		fmt.Fprintln(stdout, "WARNING: horizon exceeded before all clusters finished")
 	}
 	t := report.New("per-cluster results", "VC", "rounds", "mean exec", "spin latency", "LLC misses")
 	for i, r := range runs {
@@ -135,32 +146,31 @@ func main() {
 			r.App.SpinLatencyMean().String(),
 			report.I(r.App.LLCMisses()))
 	}
-	fmt.Println(t.String())
+	fmt.Fprintln(stdout, t.String())
 
 	var ctx, wakes uint64
 	for _, n := range s.World.Nodes() {
 		ctx += n.CtxSwitches()
 		wakes += n.Wakes()
 	}
-	fmt.Printf("virtual time %v, context switches %d, wakes %d, packets %d, events %d (wall %v)\n",
+	fmt.Fprintf(stdout, "virtual time %v, context switches %d, wakes %d, packets %d, events %d (wall %v)\n",
 		s.World.Eng.Now(), ctx, wakes, s.World.Fabric.PacketsSent(), s.World.Eng.Executed(), elapsed.Round(time.Millisecond))
 	if a, isATC := s.World.Node(0).Scheduler().(*atc.Scheduler); isATC {
 		for _, vm := range s.World.Node(0).VMs()[:min(3, len(s.World.Node(0).VMs()))] {
-			fmt.Printf("node0 %s: final ATC slice %v\n", vm.Name(), a.CurrentSlice(vm))
+			fmt.Fprintf(stdout, "node0 %s: final ATC slice %v\n", vm.Name(), a.CurrentSlice(vm))
 		}
 	}
 	if tracer != nil {
-		if err := emitTrace(tracer, *trace); err != nil {
-			fatal(err)
-		}
+		return emitTrace(stdout, tracer, *trace)
 	}
+	return nil
 }
 
 // emitTrace renders the collected trace per the -trace spec.
-func emitTrace(tr *vmm.Tracer, spec string) error {
+func emitTrace(stdout io.Writer, tr *vmm.Tracer, spec string) error {
 	switch {
 	case spec == "summary":
-		fmt.Print(tr.Summary())
+		fmt.Fprint(stdout, tr.Summary())
 		return nil
 	case strings.HasPrefix(spec, "text:"):
 		f, err := os.Create(strings.TrimPrefix(spec, "text:"))
@@ -180,9 +190,4 @@ func emitTrace(tr *vmm.Tracer, spec string) error {
 	default:
 		return fmt.Errorf("unknown -trace spec %q (summary | text:<file> | csv:<file>)", spec)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "atcsim:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTinyScenario(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "1", "-vcs", "1", "-vcpus", "1", "-rounds", "1",
+		"-kernel", "ep", "-class", "A", "-sched", "CR", "-horizon", "60",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"per-cluster results", "vc0", "virtual time"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSpecFile(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "tiny.json")
+	if err := os.WriteFile(spec, []byte(
+		`{"nodes":1,"horizonSec":60,"virtualClusters":[{"vms":1,"vcpus":1,"kernel":"ep","class":"A","rounds":1}]}`,
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-f", spec}, &out); err != nil {
+		t.Fatalf("run -f: %v", err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("scenario file run produced no output")
+	}
+}
+
+func TestRunTraceSummary(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "1", "-vcs", "1", "-vcpus", "1", "-rounds", "1",
+		"-kernel", "ep", "-class", "A", "-sched", "ATC", "-horizon", "60",
+		"-trace", "summary",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run -trace summary: %v", err)
+	}
+	if !strings.Contains(out.String(), "dispatches") {
+		t.Errorf("no trace summary in output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"-class", "Z"},
+		{"-sched", "NOPE"},
+		{"-f", "/nonexistent/path.json"},
+		{"-trace", "wat:x", "-nodes", "1", "-vcs", "1", "-vcpus", "1", "-rounds", "1", "-kernel", "ep", "-class", "A", "-horizon", "60"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 	"strings"
@@ -29,29 +30,41 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes the selected experiments, writing tables
+// to stdout. Split from main so tests can drive the command in-process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		expID      = flag.String("exp", "", "experiment id(s), comma-separated (fig1, fig2, fig5, fig8, euclid, fig9, fig10, fig11, fig12, fig13, fig14, tab1; extensions: score, sens, ablate)")
-		all        = flag.Bool("all", false, "run every experiment")
-		list       = flag.Bool("list", false, "list experiments and exit")
-		scale      = flag.String("scale", "small", "small | medium | full")
-		seed       = flag.Uint64("seed", 1, "workload seed")
-		format     = flag.String("format", "text", "text | csv | markdown")
-		outDir     = flag.String("out", "", "also write each table as CSV into this directory")
-		parallel   = flag.Int("parallel", 0, "worker-pool width for experiment cells (0 = GOMAXPROCS, 1 = serial)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		expID      = fs.String("exp", "", "experiment id(s), comma-separated (fig1, fig2, fig5, fig8, euclid, fig9, fig10, fig11, fig12, fig13, fig14, tab1; extensions: score, sens, ablate)")
+		all        = fs.Bool("all", false, "run every experiment")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		scale      = fs.String("scale", "small", "small | medium | full")
+		seed       = fs.Uint64("seed", 1, "workload seed")
+		format     = fs.String("format", "text", "text | csv | markdown")
+		outDir     = fs.String("out", "", "also write each table as CSV into this directory")
+		parallel   = fs.Int("parallel", 0, "worker-pool width for experiment cells (0 = GOMAXPROCS, 1 = serial)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	runner.SetDefaultWorkers(*parallel)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -59,24 +72,25 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
 			}
 			defer f.Close()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "experiments:", err)
 			}
 		}()
 	}
 
 	if *list {
 		for _, e := range experiment.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
 	sc, err := experiment.ScaleByName(*scale)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var exps []experiment.Experiment
 	switch {
@@ -86,41 +100,42 @@ func main() {
 		for _, id := range strings.Split(*expID, ",") {
 			e, err := experiment.ByID(strings.TrimSpace(id))
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			exps = append(exps, e)
 		}
 	default:
-		fatal(fmt.Errorf("specify -exp <id> or -all (use -list to enumerate)"))
+		return fmt.Errorf("specify -exp <id> or -all (use -list to enumerate)")
 	}
 
 	runStart := time.Now()
 	for _, e := range exps {
 		start := time.Now()
-		fmt.Printf("== %s: %s [scale=%s seed=%d]\n", e.ID, e.Title, sc.Name, *seed)
+		fmt.Fprintf(stdout, "== %s: %s [scale=%s seed=%d]\n", e.ID, e.Title, sc.Name, *seed)
 		tables, err := e.Run(sc, *seed)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		for i, t := range tables {
 			switch *format {
 			case "csv":
-				fmt.Print(t.CSV())
+				fmt.Fprint(stdout, t.CSV())
 			case "markdown":
-				fmt.Println(t.Markdown())
+				fmt.Fprintln(stdout, t.Markdown())
 			default:
-				fmt.Println(t.String())
+				fmt.Fprintln(stdout, t.String())
 			}
 			if *outDir != "" {
 				if err := writeCSV(*outDir, fmt.Sprintf("%s_%d.csv", e.ID, i), t.CSV()); err != nil {
-					fatal(err)
+					return err
 				}
 			}
 		}
-		fmt.Printf("-- %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "-- %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Printf("== total: %d experiment(s), %d cell(s) in %v (workers=%d)\n",
+	fmt.Fprintf(stdout, "== total: %d experiment(s), %d cell(s) in %v (workers=%d)\n",
 		len(exps), runner.Cells(), time.Since(runStart).Round(time.Millisecond), runner.DefaultWorkers())
+	return nil
 }
 
 func writeCSV(dir, name, csv string) error {
@@ -128,9 +143,4 @@ func writeCSV(dir, name, csv string) error {
 		return err
 	}
 	return os.WriteFile(dir+"/"+name, []byte(csv), 0o644)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }

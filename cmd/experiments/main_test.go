@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"fig10", "tab1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-list output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSingleExperimentSmallScale(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fig1", "-scale", "small", "-parallel", "1"}, &out); err != nil {
+		t.Fatalf("run fig1: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "== fig1:") || !strings.Contains(got, "done in") {
+		t.Errorf("fig1 output missing framing:\n%s", got)
+	}
+	// A non-empty table body: at least one line beyond headers/framing.
+	if len(strings.Split(got, "\n")) < 6 {
+		t.Errorf("suspiciously short output:\n%s", got)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{},                                     // neither -exp nor -all
+		{"-exp", "nosuch"},                     // unknown experiment id
+		{"-exp", "fig1", "-scale", "galactic"}, // unknown scale
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

@@ -88,6 +88,15 @@ func (s SchedSpec) factory() (vmm.SchedulerFactory, error) {
 	case VS:
 		o := vslicer.DefaultOptions()
 		o.Credit = base
+		// A fixed base slice at or below the default microslice would
+		// violate vSlicer's micro < base invariant; keep the paper's 30:1
+		// differentiated-frequency ratio relative to the override instead.
+		if o.MicroSlice >= base.TimeSlice {
+			o.MicroSlice = base.TimeSlice / 30
+			if o.MicroSlice <= 0 {
+				return nil, fmt.Errorf("cluster: VS base slice %v too small to microslice", base.TimeSlice)
+			}
+		}
 		return vslicer.Factory(o), nil
 	case HY:
 		o := hybrid.DefaultOptions()
@@ -122,6 +131,16 @@ type Config struct {
 	NonParallelAdminSlice sim.Time
 	// Seed drives all workload randomness.
 	Seed uint64
+	// AuditEvery, when nonzero, re-checks World.Audit every interval of
+	// virtual time while the run loop drives the world (Go, GoFor,
+	// ContinueFor, ContinueUntil) and once more when it hands back
+	// control. Violations are retained (see Scenario.AuditViolations);
+	// the run itself is not interrupted.
+	AuditEvery sim.Time
+	// OnAudit, when set alongside AuditEvery, observes every audit
+	// point: the virtual time and the violation list (empty when
+	// healthy).
+	OnAudit func(at sim.Time, errs []error)
 }
 
 // DefaultConfig returns a paper-testbed-like configuration for the given
@@ -141,9 +160,10 @@ type Scenario struct {
 	Cfg   Config
 	World *vmm.World
 
-	runs    []*workload.ParallelRun
-	pending int
-	nextVC  int
+	runs       []*workload.ParallelRun
+	pending    int
+	nextVC     int
+	auditViols []error
 }
 
 // New builds the world for cfg.
@@ -234,7 +254,7 @@ func (s *Scenario) Runs() []*workload.ParallelRun { return s.runs }
 // steady-state rate (RTT, bandwidth, response time).
 func (s *Scenario) GoFor(d sim.Time) {
 	s.World.Start()
-	s.World.RunUntil(d)
+	s.advance(d)
 }
 
 // ContinueFor resumes a world stopped by measured-run completion and
@@ -243,7 +263,7 @@ func (s *Scenario) GoFor(d sim.Time) {
 // load up.
 func (s *Scenario) ContinueFor(d sim.Time) {
 	s.World.Eng.Resume()
-	s.World.RunUntil(s.World.Eng.Now() + d)
+	s.advance(s.World.Eng.Now() + d)
 }
 
 // ContinueUntil resumes the world and runs in steps of `step` until done
@@ -257,7 +277,7 @@ func (s *Scenario) ContinueUntil(done func() bool, step, cap sim.Time) bool {
 		if next > deadline {
 			next = deadline
 		}
-		s.World.RunUntil(next)
+		s.advance(next)
 	}
 	return done()
 }
@@ -267,6 +287,52 @@ func (s *Scenario) ContinueUntil(done func() bool, step, cap sim.Time) bool {
 // schedules). It returns true when all runs completed in time.
 func (s *Scenario) Go(horizon sim.Time) bool {
 	s.World.Start()
-	s.World.RunUntil(horizon)
+	s.advance(horizon)
 	return s.pending == 0
+}
+
+// auditViolationCap bounds how many violations a sick run retains.
+const auditViolationCap = 16
+
+// advance drives the engine to the target virtual time, pausing every
+// AuditEvery to re-check World.Audit when the audit hook is enabled. A
+// stopped engine (measured-run completion) ends the advance early; the
+// hook still audits the shutdown state.
+func (s *Scenario) advance(target sim.Time) {
+	every := s.Cfg.AuditEvery
+	if every <= 0 {
+		s.World.RunUntil(target)
+		return
+	}
+	for !s.World.Eng.Stopped() && s.World.Eng.Now() < target {
+		next := s.World.Eng.Now() + every
+		if next > target {
+			next = target
+		}
+		s.World.RunUntil(next)
+		s.audit()
+	}
+	s.audit()
+}
+
+// audit runs one World.Audit pass, retaining violations and notifying
+// the OnAudit observer.
+func (s *Scenario) audit() {
+	errs := s.World.Audit()
+	if s.Cfg.OnAudit != nil {
+		s.Cfg.OnAudit(s.World.Eng.Now(), errs)
+	}
+	for _, err := range errs {
+		if len(s.auditViols) >= auditViolationCap {
+			return
+		}
+		s.auditViols = append(s.auditViols, fmt.Errorf("audit at %v: %w", s.World.Eng.Now(), err))
+	}
+}
+
+// AuditViolations returns the invariant violations the periodic audit
+// hook collected (nil when AuditEvery is zero or the run stayed
+// healthy). At most auditViolationCap violations are retained.
+func (s *Scenario) AuditViolations() []error {
+	return append([]error(nil), s.auditViols...)
 }

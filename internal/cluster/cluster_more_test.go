@@ -93,3 +93,54 @@ func TestDisableTogglesReachScheduler(t *testing.T) {
 		t.Fatal("no timing")
 	}
 }
+
+func TestVSSmallFixedSliceBuilds(t *testing.T) {
+	// Regression: a fixed base slice at or below VS's 1ms default
+	// microslice used to panic in the vslicer constructor. The factory
+	// now rescales the microslice to the 30:1 ratio.
+	for _, ms := range []float64{0.3, 1} {
+		cfg := DefaultConfig(1, VS)
+		cfg.Sched.FixedSlice = sim.FromMillis(ms)
+		if _, err := New(cfg); err != nil {
+			t.Fatalf("slice %vms: %v", ms, err)
+		}
+	}
+	// A base slice too small to subdivide must error, not panic.
+	cfg := DefaultConfig(1, VS)
+	cfg.Sched.FixedSlice = 10 * sim.Nanosecond
+	if _, err := New(cfg); err == nil {
+		t.Fatal("nanosecond base slice accepted for VS")
+	}
+}
+
+func TestAuditHookObservesRun(t *testing.T) {
+	var times []sim.Time
+	var sick int
+	cfg := DefaultConfig(1, CR)
+	cfg.AuditEvery = 10 * sim.Millisecond
+	cfg.OnAudit = func(at sim.Time, errs []error) {
+		times = append(times, at)
+		sick += len(errs)
+	}
+	s := MustNew(cfg)
+	prof := workload.NPB("ep", workload.ClassA)
+	prof.Iterations = 2
+	s.RunParallel(prof, s.VirtualCluster("vc", 1, 2, nil), 1, false)
+	if !s.Go(120 * sim.Second) {
+		t.Fatal("did not complete")
+	}
+	if len(times) == 0 {
+		t.Fatal("audit hook never fired")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("audit clock regressed: %v -> %v", times[i-1], times[i])
+		}
+	}
+	if sick != 0 {
+		t.Fatalf("%d audit violations on a healthy run", sick)
+	}
+	if got := s.AuditViolations(); len(got) != 0 {
+		t.Fatalf("AuditViolations = %v", got)
+	}
+}

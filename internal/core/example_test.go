@@ -36,8 +36,7 @@ func ExampleController_ComputeSlice() {
 func ExampleController_NodeSlices() {
 	ctl := core.NewController(core.DefaultConfig())
 	// VM 1 under rising contention; VM 2 quiet.
-	for i, lat := range []sim.Time{sim.Millisecond, 2 * sim.Millisecond, 3 * sim.Millisecond} {
-		_ = i
+	for _, lat := range []sim.Time{sim.Millisecond, 2 * sim.Millisecond, 3 * sim.Millisecond} {
 		ctl.Observe(1, lat, 30*sim.Millisecond)
 		ctl.Observe(2, 500*sim.Microsecond, 30*sim.Millisecond)
 	}

@@ -1,0 +1,55 @@
+package proptest_test
+
+import (
+	"testing"
+
+	"atcsched/internal/cluster"
+	"atcsched/internal/proptest"
+)
+
+// fuzzApproaches keeps FuzzWorld iterations cheap: the baseline, the
+// paper's scheduler, and the hybrid extension cover the three distinct
+// scheduler cores.
+var fuzzApproaches = []cluster.Approach{cluster.CR, cluster.ATC, cluster.HY}
+
+// FuzzWorld derives tiny generator parameters from fuzz bytes and runs
+// the full property battery (audit, liveness, conservation, determinism
+// replay, differential agreement) on the resulting world. Run deep with
+//
+//	go test ./internal/proptest -fuzz=FuzzWorld -fuzztime=30s
+func FuzzWorld(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(42), uint8(1), uint8(3), uint8(1), uint8(2), uint8(5))
+	f.Add(uint64(7), uint8(0), uint8(1), uint8(7), uint8(1), uint8(255))
+	f.Fuzz(func(t *testing.T, seed uint64, nodes, pcpus, kernel, shape, opts uint8) {
+		spec := proptest.Generate(seed, proptest.Bounded())
+		// Rewrite the generated spec's shape from the fuzz bytes, clamped
+		// to a tiny world so each iteration stays cheap, and keep a single
+		// cluster so the fuzzer owns every knob that matters.
+		spec.Nodes = 1 + int(nodes)%2
+		spec.PCPUs = 1 + int(pcpus)%3
+		kernels := []string{"lu", "is", "sp", "bt", "mg", "cg", "ep", "ft"}
+		spec.Clusters = spec.Clusters[:1]
+		spec.Clusters[0].Kernel = kernels[int(kernel)%len(kernels)]
+		spec.Clusters[0].Class = "A"
+		spec.Clusters[0].VMs = 1 + int(shape)%2
+		spec.Clusters[0].VCPUs = 1 + int(shape>>2)%3
+		spec.Clusters[0].Rounds = 1
+		spec.Clusters[0].Iterations = 1 + int(shape>>4)%3
+		spec.FixedSliceMs = []float64{0, 0.3, 5, 30}[int(opts)%4]
+		spec.DisableBoost = opts&16 != 0
+		spec.DisableSteal = opts&32 != 0
+		if len(spec.Jobs) > 1 {
+			spec.Jobs = spec.Jobs[:1]
+		}
+		for i := range spec.Jobs {
+			spec.Jobs[i].Node %= spec.Nodes
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("fuzz-derived spec invalid: %v", err)
+		}
+		if err := proptest.CheckSpec(spec, fuzzApproaches); err != nil {
+			t.Fatalf("property violated on fuzz-derived spec %+v: %v", spec, err)
+		}
+	})
+}

@@ -1,0 +1,251 @@
+// Package proptest is the simulator's randomized correctness harness: a
+// seed-driven scenario generator plus a property battery that every
+// generated world must survive under every scheduling approach.
+//
+// The simulator is the measurement instrument behind every claim this
+// repository reproduces, so its correctness ceiling is the repo's
+// correctness ceiling. The battery therefore checks, for each generated
+// scenario:
+//
+//   - invariants: World.Audit passes periodically mid-run (via the
+//     cluster audit hook) and at shutdown;
+//   - liveness and conservation: every measured run completes exactly
+//     its target rounds, every parallel VCPU retires its process and
+//     idles (no VCPU left spinning or waiting), the audited clock is
+//     monotone, and each virtual cluster posts exactly the analytic
+//     packet count implied by its communication pattern;
+//   - determinism: replaying the same seed yields byte-identical result
+//     structs and scheduling traces;
+//   - differential agreement: all approaches (CR, CS, BS, DSS, VS, HY,
+//     ATC) complete the same logical work on the same scenario.
+//
+// Failures reproduce from a single generator seed (see the sweep test's
+// -proptest.seed flag); Shrink minimizes a failing Spec to a smaller
+// one that still fails.
+package proptest
+
+import (
+	"fmt"
+
+	"atcsched/internal/rng"
+	"atcsched/internal/sim"
+	"atcsched/internal/workload"
+)
+
+// Spec is one generated scenario: the world shape, the tenants, and the
+// scheduler parameters — everything except the approach under test, so
+// the same Spec runs differentially across all approaches. It is plain
+// data (JSON-marshalable) so failing cases can be reported, minimized
+// and replayed.
+type Spec struct {
+	// Seed drives all workload randomness inside the world.
+	Seed uint64 `json:"seed"`
+	// Nodes and PCPUs shape the physical cluster.
+	Nodes int `json:"nodes"`
+	PCPUs int `json:"pcpus"`
+	// FixedSliceMs, when nonzero, pins the base time slice.
+	FixedSliceMs float64 `json:"fixedSliceMs,omitempty"`
+	// DisableBoost/DisableSteal toggle the credit core's wake boost and
+	// idle stealing — adversarial knobs for the state machine.
+	DisableBoost bool `json:"disableBoost,omitempty"`
+	DisableSteal bool `json:"disableSteal,omitempty"`
+	// Clusters are the measured parallel tenants.
+	Clusters []ClusterSpec `json:"clusters"`
+	// Jobs are non-parallel co-tenants (background noise; their work is
+	// time-dependent and excluded from conservation checks).
+	Jobs []JobSpec `json:"jobs,omitempty"`
+	// HorizonSec caps the run's virtual time (liveness safety net).
+	HorizonSec float64 `json:"horizonSec"`
+}
+
+// ClusterSpec sizes one virtual cluster and its BSP application.
+type ClusterSpec struct {
+	Kernel string `json:"kernel"`
+	Class  string `json:"class"`
+	VMs    int    `json:"vms"`
+	VCPUs  int    `json:"vcpus"`
+	Rounds int    `json:"rounds"`
+	// Iterations overrides the kernel's superstep count, scaling work
+	// down to property-test size.
+	Iterations int `json:"iterations"`
+}
+
+// JobSpec places one non-parallel tenant.
+type JobSpec struct {
+	// Type is ping, web, disk, stream, or cpu.
+	Type string `json:"type"`
+	Node int    `json:"node"`
+	// Name selects the CPU profile for type cpu.
+	Name string `json:"name,omitempty"`
+}
+
+// Generator hard bounds: Validate rejects anything outside them, so
+// fuzz-derived Specs cannot blow up memory or wall time.
+const (
+	maxNodes      = 8
+	maxPCPUs      = 16
+	maxClusters   = 4
+	maxVMs        = 8
+	maxVCPUs      = 16
+	maxRounds     = 5
+	maxIterations = 20
+	maxJobs       = 8
+	maxHorizonSec = 3600
+)
+
+// Validate checks a Spec against the generator's hard bounds.
+func (s Spec) Validate() error {
+	switch {
+	case s.Nodes < 1 || s.Nodes > maxNodes:
+		return fmt.Errorf("proptest: nodes %d out of [1,%d]", s.Nodes, maxNodes)
+	case s.PCPUs < 1 || s.PCPUs > maxPCPUs:
+		return fmt.Errorf("proptest: pcpus %d out of [1,%d]", s.PCPUs, maxPCPUs)
+	case s.FixedSliceMs < 0 || s.FixedSliceMs > 100:
+		return fmt.Errorf("proptest: fixed slice %vms out of [0,100]", s.FixedSliceMs)
+	case len(s.Clusters) < 1 || len(s.Clusters) > maxClusters:
+		return fmt.Errorf("proptest: %d clusters out of [1,%d]", len(s.Clusters), maxClusters)
+	case len(s.Jobs) > maxJobs:
+		return fmt.Errorf("proptest: %d jobs exceeds %d", len(s.Jobs), maxJobs)
+	case s.HorizonSec <= 0 || s.HorizonSec > maxHorizonSec:
+		return fmt.Errorf("proptest: horizon %vs out of (0,%d]", s.HorizonSec, maxHorizonSec)
+	}
+	for i, c := range s.Clusters {
+		if _, err := c.profile(); err != nil {
+			return fmt.Errorf("proptest: cluster %d: %w", i, err)
+		}
+		switch {
+		case c.VMs < 1 || c.VMs > maxVMs:
+			return fmt.Errorf("proptest: cluster %d: vms %d out of [1,%d]", i, c.VMs, maxVMs)
+		case c.VCPUs < 1 || c.VCPUs > maxVCPUs:
+			return fmt.Errorf("proptest: cluster %d: vcpus %d out of [1,%d]", i, c.VCPUs, maxVCPUs)
+		case c.Rounds < 1 || c.Rounds > maxRounds:
+			return fmt.Errorf("proptest: cluster %d: rounds %d out of [1,%d]", i, c.Rounds, maxRounds)
+		case c.Iterations < 1 || c.Iterations > maxIterations:
+			return fmt.Errorf("proptest: cluster %d: iterations %d out of [1,%d]", i, c.Iterations, maxIterations)
+		}
+	}
+	for i, j := range s.Jobs {
+		switch j.Type {
+		case "ping", "web", "disk", "stream":
+		case "cpu":
+			found := false
+			for _, p := range workload.SPECProfiles() {
+				if p.Name == j.Name {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("proptest: job %d: unknown cpu profile %q", i, j.Name)
+			}
+		default:
+			return fmt.Errorf("proptest: job %d: unknown type %q", i, j.Type)
+		}
+		if j.Node < 0 || j.Node >= s.Nodes {
+			return fmt.Errorf("proptest: job %d: node %d out of range", i, j.Node)
+		}
+	}
+	return nil
+}
+
+// profile resolves the cluster's application profile with its iteration
+// override applied.
+func (c ClusterSpec) profile() (workload.AppProfile, error) {
+	var cls workload.Class
+	switch c.Class {
+	case "A":
+		cls = workload.ClassA
+	case "B":
+		cls = workload.ClassB
+	case "C":
+		cls = workload.ClassC
+	default:
+		return workload.AppProfile{}, fmt.Errorf("unknown class %q", c.Class)
+	}
+	known := false
+	for _, k := range append(workload.NPBKernels(), workload.ExtraKernels()...) {
+		if k == c.Kernel {
+			known = true
+		}
+	}
+	if !known {
+		return workload.AppProfile{}, fmt.Errorf("unknown kernel %q", c.Kernel)
+	}
+	p := workload.NPB(c.Kernel, cls)
+	if c.Iterations > 0 {
+		p.Iterations = c.Iterations
+	}
+	return p, nil
+}
+
+// horizon returns the Spec's virtual-time budget.
+func (s Spec) horizon() sim.Time { return sim.FromSeconds(s.HorizonSec) }
+
+// Limits bound the generator's draw ranges. The bounded gear keeps
+// tier-1 sweeps fast; the deep gear (-proptest.long) explores larger
+// worlds. Both stay inside the Validate hard bounds.
+type Limits struct {
+	Nodes      int
+	PCPUs      int
+	Clusters   int
+	VMs        int
+	VCPUs      int
+	Rounds     int
+	Iterations int
+	Jobs       int
+}
+
+// Bounded is the tier-1 gear: tiny worlds, fast enough for ~100
+// scenarios × 7 approaches inside `go test ./...`.
+func Bounded() Limits {
+	return Limits{Nodes: 2, PCPUs: 4, Clusters: 2, VMs: 2, VCPUs: 4, Rounds: 2, Iterations: 4, Jobs: 2}
+}
+
+// Deep is the -proptest.long gear: bigger worlds, heavier overcommit.
+func Deep() Limits {
+	return Limits{Nodes: 4, PCPUs: 8, Clusters: 3, VMs: 4, VCPUs: 8, Rounds: 3, Iterations: 8, Jobs: 4}
+}
+
+// fixedSliceChoices are the base-slice overrides the generator draws
+// from (ms); zero keeps the scheduler default and is favoured.
+var fixedSliceChoices = []float64{0, 0, 0, 0.3, 1, 5, 30}
+
+// jobTypes are the non-parallel tenant types the generator draws from.
+var jobTypes = []string{"ping", "web", "disk", "stream", "cpu"}
+
+// classChoices weight problem classes toward the small ones.
+var classChoices = []string{"A", "A", "A", "B"}
+
+// Generate derives a Spec from a seed, drawing every parameter from
+// internal/rng so the same seed always yields the same scenario.
+func Generate(seed uint64, lim Limits) Spec {
+	src := rng.New(seed)
+	spec := Spec{
+		Seed:       seed,
+		Nodes:      1 + src.Intn(lim.Nodes),
+		PCPUs:      1 + src.Intn(lim.PCPUs),
+		HorizonSec: 900,
+	}
+	spec.FixedSliceMs = fixedSliceChoices[src.Intn(len(fixedSliceChoices))]
+	spec.DisableBoost = src.Float64() < 0.1
+	spec.DisableSteal = src.Float64() < 0.1
+	kernels := append(workload.NPBKernels(), workload.ExtraKernels()...)
+	for i, n := 0, 1+src.Intn(lim.Clusters); i < n; i++ {
+		spec.Clusters = append(spec.Clusters, ClusterSpec{
+			Kernel:     kernels[src.Intn(len(kernels))],
+			Class:      classChoices[src.Intn(len(classChoices))],
+			VMs:        1 + src.Intn(lim.VMs),
+			VCPUs:      1 + src.Intn(lim.VCPUs),
+			Rounds:     1 + src.Intn(lim.Rounds),
+			Iterations: 1 + src.Intn(lim.Iterations),
+		})
+	}
+	for i, n := 0, src.Intn(lim.Jobs+1); i < n; i++ {
+		j := JobSpec{Type: jobTypes[src.Intn(len(jobTypes))], Node: src.Intn(spec.Nodes)}
+		if j.Type == "cpu" {
+			profs := workload.SPECProfiles()
+			j.Name = profs[src.Intn(len(profs))].Name
+		}
+		spec.Jobs = append(spec.Jobs, j)
+	}
+	return spec
+}

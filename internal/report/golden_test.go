@@ -1,0 +1,60 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenTable exercises every rendering feature at once: a title, uneven
+// column widths, cells needing CSV escaping (commas, quotes, newline-free
+// unicode), an embedded sparkline, and notes.
+func goldenTable() *Table {
+	tb := New("scheduler sweep (seed 7)", "approach", "mean exec", "speedup", "trend")
+	tb.Add("CR", "41.203s", "1.00", Spark([]float64{41.2, 41.3, 41.1}))
+	tb.Add("ATC", "17.904s", "2.30", Spark([]float64{30.1, 24.0, 17.9}))
+	tb.Add(`VS "micro"`, "22.117s", "1.86", Spark([]float64{25, 23, 22.1}))
+	tb.Add("HY, boosted", "19.540s", "2.11", Spark([]float64{21, 20, 19.5}))
+	tb.AddNote("classes A,B averaged; quotes \"escaped\" in CSV")
+	return tb
+}
+
+// TestGolden locks the exact bytes of each renderer against files under
+// testdata/. Regenerate after an intentional format change with
+//
+//	go test ./internal/report -run TestGolden -update
+func TestGolden(t *testing.T) {
+	tb := goldenTable()
+	cases := []struct {
+		name string
+		got  string
+	}{
+		{"table.txt", tb.String()},
+		{"table.csv", tb.CSV()},
+		{"table.md", tb.Markdown()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join("testdata", c.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(c.got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if c.got != string(want) {
+				t.Errorf("%s drifted from golden:\n--- got ---\n%s--- want ---\n%s", c.name, c.got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioJSON hammers the spec parser: Load must accept or reject
+// cleanly — never panic, never hand Build a spec that allocates beyond
+// the resource caps. When a fuzz input parses into a tiny world, Build
+// it and audit the fresh world too. Run deep with
+//
+//	go test ./internal/scenario -fuzz=FuzzScenarioJSON -fuzztime=30s
+func FuzzScenarioJSON(f *testing.F) {
+	// Seed corpus: a minimal valid spec, each structural feature, and
+	// the hardening edges (trailing data, huge numbers, unknown fields,
+	// type confusion, truncation).
+	f.Add(`{"nodes":1,"virtualClusters":[{"vms":1,"vcpus":1,"kernel":"ep","class":"A","rounds":1}]}`)
+	f.Add(`{"nodes":2,"scheduler":{"kind":"ATC","fixedSliceMs":30},"seed":7,"horizonSec":60,
+		"virtualClusters":[{"name":"a","vms":2,"vcpus":2,"kernel":"lu","class":"A","rounds":1},
+		{"name":"b","kernel":"is","background":true}],
+		"jobs":[{"type":"ping","node":0,"intervalMs":5},{"type":"cpu","node":1,"name":"gcc"}]}`)
+	f.Add(`{"nodes":1,"jobs":[{"type":"web","node":0,"peerNode":0}]}`)
+	f.Add(`{}`)
+	f.Add(`null`)
+	f.Add(`[]`)
+	f.Add(`{"nodes":1e9,"virtualClusters":[{}]}`)
+	f.Add(`{"nodes":1,"horizonSec":1e300,"virtualClusters":[{}]}`)
+	f.Add(`{"nodes":1,"virtualClusters":[{"vcpus":-3}]}`)
+	f.Add(`{"nodes":1,"virtualClusters":[{}]}{"nodes":2}`)
+	f.Add(`{"nodes":1,"bogusField":true,"virtualClusters":[{}]}`)
+	f.Add(`{"nodes":"one","virtualClusters":[{}]}`)
+	f.Add(`{"nodes":1,"virtualClusters":[{"kernel":"lu"`)
+	f.Add(`{"nodes":1,"scheduler":{"kind":"zen"},"virtualClusters":[{}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		spec, err := Load(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted specs must come back with defaults filled and inside
+		// the caps — Validate is the only gate between JSON and NewWorld.
+		if spec.Nodes < 1 || spec.Nodes > maxNodes {
+			t.Fatalf("accepted nodes=%d", spec.Nodes)
+		}
+		if spec.HorizonSec <= 0 || spec.HorizonSec > maxHorizonSec {
+			t.Fatalf("accepted horizonSec=%v", spec.HorizonSec)
+		}
+		small := spec.Nodes <= 2 && spec.PCPUsPerNode <= 4 && len(spec.Jobs) <= 2
+		for _, vc := range spec.VirtualClusters {
+			if vc.VMs < 1 || vc.VCPUs < 1 || vc.Rounds < 0 {
+				t.Fatalf("accepted cluster sizing %+v", vc)
+			}
+			if vc.VMs > 2 || vc.VCPUs > 2 {
+				small = false
+			}
+		}
+		if !small || len(spec.VirtualClusters) > 2 {
+			return
+		}
+		// Tiny world: building it must succeed and pass a full audit.
+		res, err := Build(spec)
+		if err != nil {
+			t.Fatalf("validated spec failed to build: %v", err)
+		}
+		if errs := res.Scenario.World.Audit(); len(errs) > 0 {
+			t.Fatalf("fresh world fails audit: %v", errs)
+		}
+	})
+}

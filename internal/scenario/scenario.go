@@ -79,6 +79,24 @@ type JobSpec struct {
 	IntervalMs float64 `json:"intervalMs,omitempty"`
 }
 
+// Resource caps: a spec is a request to allocate a world, so every size
+// and duration is bounded. The caps are far above anything the paper's
+// experiments use; they exist so a malformed or hostile spec fails
+// Validate instead of exhausting memory or overflowing the virtual
+// clock (sim.Time is int64 nanoseconds — huge float seconds would wrap).
+const (
+	maxNodes        = 1024
+	maxPCPUsPerNode = 256
+	maxClusters     = 256
+	maxVMs          = 4096
+	maxVCPUs        = 256
+	maxRounds       = 100000
+	maxJobs         = 1024
+	maxHorizonSec   = 864000 // 10 virtual days
+	maxSliceMs      = 10000
+	maxIntervalMs   = 60000
+)
+
 // Load parses and validates a JSON spec.
 func Load(r io.Reader) (*Spec, error) {
 	dec := json.NewDecoder(r)
@@ -86,6 +104,9 @@ func Load(r io.Reader) (*Spec, error) {
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after spec")
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -97,6 +118,18 @@ func Load(r io.Reader) (*Spec, error) {
 func (s *Spec) Validate() error {
 	if s.Nodes < 1 {
 		return fmt.Errorf("scenario: nodes must be >= 1, got %d", s.Nodes)
+	}
+	if s.Nodes > maxNodes {
+		return fmt.Errorf("scenario: nodes %d exceeds cap %d", s.Nodes, maxNodes)
+	}
+	if s.PCPUsPerNode < 0 || s.PCPUsPerNode > maxPCPUsPerNode {
+		return fmt.Errorf("scenario: pcpusPerNode %d out of [0,%d]", s.PCPUsPerNode, maxPCPUsPerNode)
+	}
+	if len(s.VirtualClusters) > maxClusters {
+		return fmt.Errorf("scenario: %d clusters exceeds cap %d", len(s.VirtualClusters), maxClusters)
+	}
+	if len(s.Jobs) > maxJobs {
+		return fmt.Errorf("scenario: %d jobs exceeds cap %d", len(s.Jobs), maxJobs)
 	}
 	if s.Scheduler.Kind == "" {
 		s.Scheduler.Kind = "ATC"
@@ -111,6 +144,9 @@ func (s *Spec) Validate() error {
 	if s.Scheduler.FixedSliceMs < 0 || s.Scheduler.NonParallelAdminSliceMs < 0 {
 		return fmt.Errorf("scenario: negative slice override")
 	}
+	if s.Scheduler.FixedSliceMs > maxSliceMs || s.Scheduler.NonParallelAdminSliceMs > maxSliceMs {
+		return fmt.Errorf("scenario: slice override exceeds cap %dms", maxSliceMs)
+	}
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
@@ -119,6 +155,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.HorizonSec < 0 {
 		return fmt.Errorf("scenario: negative horizon")
+	}
+	if s.HorizonSec > maxHorizonSec {
+		return fmt.Errorf("scenario: horizon %vs exceeds cap %ds", s.HorizonSec, maxHorizonSec)
 	}
 	if len(s.VirtualClusters) == 0 && len(s.Jobs) == 0 {
 		return fmt.Errorf("scenario: nothing to run")
@@ -163,6 +202,10 @@ func (s *Spec) Validate() error {
 		if vc.Rounds < 0 || vc.VMs < 1 || vc.VCPUs < 1 {
 			return fmt.Errorf("scenario: cluster %q: bad sizing", vc.Name)
 		}
+		if vc.VMs > maxVMs || vc.VCPUs > maxVCPUs || vc.Rounds > maxRounds {
+			return fmt.Errorf("scenario: cluster %q: sizing exceeds caps (vms %d/%d, vcpus %d/%d, rounds %d/%d)",
+				vc.Name, vc.VMs, maxVMs, vc.VCPUs, maxVCPUs, vc.Rounds, maxRounds)
+		}
 	}
 	for i := range s.Jobs {
 		j := &s.Jobs[i]
@@ -190,6 +233,9 @@ func (s *Spec) Validate() error {
 		}
 		if j.IntervalMs < 0 {
 			return fmt.Errorf("scenario: job %d: negative interval", i)
+		}
+		if j.IntervalMs > maxIntervalMs {
+			return fmt.Errorf("scenario: job %d: interval exceeds cap %dms", i, maxIntervalMs)
 		}
 		if j.IntervalMs == 0 {
 			j.IntervalMs = 10

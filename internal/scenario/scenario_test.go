@@ -115,3 +115,26 @@ func TestHYSchedulerAccepted(t *testing.T) {
 		t.Errorf("scheduler = %q", got)
 	}
 }
+
+func TestLoadRejectsResourceBombs(t *testing.T) {
+	// Regressions from FuzzScenarioJSON hardening: each of these used to
+	// slip past Validate and reach NewWorld (allocation bombs, an int64
+	// overflow of the virtual clock) or be silently ignored.
+	cases := map[string]string{
+		"huge nodes":     `{"nodes":1000000000,"virtualClusters":[{}]}`,
+		"huge pcpus":     `{"nodes":1,"pcpusPerNode":100000,"virtualClusters":[{}]}`,
+		"negative pcpus": `{"nodes":1,"pcpusPerNode":-8,"virtualClusters":[{}]}`,
+		"huge horizon":   `{"nodes":1,"horizonSec":1e300,"virtualClusters":[{}]}`,
+		"huge slice":     `{"nodes":1,"scheduler":{"fixedSliceMs":1e12},"virtualClusters":[{}]}`,
+		"huge vms":       `{"nodes":1,"virtualClusters":[{"vms":1000000}]}`,
+		"huge vcpus":     `{"nodes":1,"virtualClusters":[{"vcpus":1000000}]}`,
+		"huge rounds":    `{"nodes":1,"virtualClusters":[{"rounds":100000000}]}`,
+		"huge interval":  `{"nodes":1,"jobs":[{"type":"ping","node":0,"intervalMs":1e9}]}`,
+		"trailing data":  `{"nodes":1,"virtualClusters":[{}]}{"nodes":2}`,
+	}
+	for name, src := range cases {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %s", name, src)
+		}
+	}
+}

@@ -250,6 +250,20 @@ func (s *Scheduler) EnqueueFront(v *vmm.VCPU, q int) {
 	s.queues[q] = append([]*vmm.VCPU{v}, s.queues[q]...)
 }
 
+// EnqueueBoostTail inserts v at the tail of queue q's BOOST class —
+// priority promotion without queue-head hogging, so promoted VCPUs
+// still round-robin among themselves (hybrid's blanket promotion).
+func (s *Scheduler) EnqueueBoostTail(v *vmm.VCPU, q int) {
+	d := s.Data(v)
+	if d.Queued {
+		panic(fmt.Sprintf("credit: EnqueueBoostTail of queued %s", v))
+	}
+	d.Prio = PrioBoost
+	d.Queue = q
+	d.Queued = true
+	s.queues[q] = s.insertByClass(s.queues[q], v, PrioBoost)
+}
+
 // Dequeue removes v from its runqueue; it returns false when v was not
 // queued.
 func (s *Scheduler) Dequeue(v *vmm.VCPU) bool {

@@ -52,10 +52,12 @@ func (s *Scheduler) Enqueue(v *vmm.VCPU, reason vmm.EnqueueReason) {
 	if v.VM().Class() == vmm.ClassParallel {
 		d := s.Data(v)
 		if d.Prio != credit.PrioBoost {
-			// Re-insert at the promoted class.
+			// Re-insert at the promoted class. Tail of the class, not the
+			// queue head: a slice-end preempt that re-entered at the head
+			// would immediately win the next pick and starve every other
+			// promoted VCPU on a busy PCPU.
 			if s.Dequeue(v) {
-				d.Prio = credit.PrioBoost
-				s.EnqueueFront(v, d.Queue)
+				s.EnqueueBoostTail(v, d.Queue)
 			}
 		}
 	}

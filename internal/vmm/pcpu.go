@@ -201,6 +201,15 @@ func (p *PCPU) preemptCur() {
 	v.state = StateRunnable
 	v.waitStart = now
 	p.node.sched.Enqueue(v, EnqueuePreempt)
+	// The scheduler may have re-placed v on another PCPU's queue (balance
+	// placement); without runqueue stealing an idle PCPU never looks
+	// there on its own, so nudge every idle sibling. scheduleDispatch
+	// coalesces, and a dispatch from an empty queue is O(1).
+	for _, o := range p.node.pcpus {
+		if o != p && o.cur == nil {
+			o.scheduleDispatch()
+		}
+	}
 	p.scheduleDispatch()
 }
 
@@ -375,12 +384,22 @@ func (p *PCPU) step() {
 				}
 				// Busy-poll the mailbox: burn CPU until the packet lands
 				// (the deliver path resumes us), the poll budget runs out
-				// (then block), or the slice ends.
-				if a.Dur > 0 && now+a.Dur <= p.sliceEnd {
+				// (then block), or the slice ends. A budget the current
+				// slice cannot hold (the slice-end event wins a same-instant
+				// tie, hence the strict <) is pre-charged for the slice
+				// remainder: polling resumes with the rest on redispatch,
+				// and a spent budget (Dur reaching 0) degrades to the
+				// blocking branch above. Without the carry-over, any budget
+				// at or above the slice restarts from scratch every dispatch
+				// and the VCPU never blocks — under a scheduler that keeps
+				// it promoted, that starves dom0 and deadlocks delivery.
+				if rem := p.sliceEnd - now; a.Dur > 0 && a.Dur < rem {
 					p.stepEv = eng.Schedule(a.Dur, func() {
 						p.stepEv = sim.Handle{}
 						p.onPollTimeout(v)
 					})
+				} else if a.Dur > 0 && rem > 0 {
+					a.Dur -= rem
 				}
 				return
 			}

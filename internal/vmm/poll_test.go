@@ -109,6 +109,35 @@ func TestRecvPollPreemptedKeepsWaiting(t *testing.T) {
 	w.MustAudit()
 }
 
+func TestRecvPollBudgetCarriesAcrossSlices(t *testing.T) {
+	// A poll budget larger than the slice must be consumed cumulatively
+	// across preemptions, not restarted from scratch on every dispatch:
+	// the receiver polls 5ms total over 2ms slices, then blocks while
+	// the hog runs — its CPU time stays near the budget, nowhere near
+	// the 40ms wall wait. (Regression: the un-carried budget kept the
+	// poller running every other slice forever.)
+	w := testWorld(t, 1, 1, 2*sim.Millisecond)
+	a := w.Node(0).NewVM("a", ClassParallel, 1, 0, 1)
+	b := w.Node(0).NewVM("b", ClassParallel, 1, 0, 1)
+	var doneAt sim.Time
+	a.VCPU(0).SetProcess(&seqProc{actions: []Action{
+		{Kind: ActRecv, Tag: 1, Dur: 5 * sim.Millisecond, Then: func() { doneAt = w.Eng.Now() }},
+	}}, nil)
+	b.VCPU(0).SetProcess(&seqProc{actions: []Action{
+		Compute(40 * sim.Millisecond),
+		Send(a, 0, 1, 64),
+	}}, nil)
+	w.Start()
+	w.RunUntil(sim.Second)
+	if doneAt < 40*sim.Millisecond {
+		t.Fatalf("doneAt = %v, want after the 40ms hog", doneAt)
+	}
+	if got := a.VCPU(0).RunTime(); got > 10*sim.Millisecond {
+		t.Errorf("receiver runtime = %v, want ≈ 5ms budget (blocked after it)", got)
+	}
+	w.MustAudit()
+}
+
 func TestPreemptAPIOnIdlePCPU(t *testing.T) {
 	w := testWorld(t, 1, 1, 30*sim.Millisecond)
 	w.Start()

@@ -133,6 +133,11 @@ func (v *VCPU) String() string { return fmt.Sprintf("%s/%d", v.vm.name, v.idx) }
 // be called before World.Start, or on an idle VCPU followed by
 // Node.WakeIdle.
 func (v *VCPU) SetProcess(p Process, onDone func(*VCPU) Process) {
+	// A completed process is cleared by the dispatcher, so a live proc
+	// here means the caller is replacing an unfinished workload.
+	if v.state != StateIdle || v.proc != nil {
+		panic(fmt.Sprintf("vmm: SetProcess on %s in state %v with live process (install before Start, or on an idle VCPU)", v, v.state))
+	}
 	v.proc = p
 	v.OnDone = onDone
 }

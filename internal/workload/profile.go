@@ -220,6 +220,24 @@ func (p AppProfile) Validate() error {
 	return nil
 }
 
+// MessagesPerRound returns the number of cross-VM packets one complete
+// round of the profile posts across a virtual cluster of nVMs VMs with
+// ranks processes each. The count is a pure function of the
+// communication pattern, so it is the analytic conservation target the
+// property harness checks every scheduler against.
+func (p AppProfile) MessagesPerRound(nVMs, ranks int) uint64 {
+	if nVMs <= 1 || ranks <= 0 {
+		return 0
+	}
+	var total uint64
+	for it := 0; it < p.Iterations; it++ {
+		for vmIdx := 0; vmIdx < nVMs; vmIdx++ {
+			total += uint64(len(p.Pattern.sendTo(it, vmIdx, nVMs)) * ranks)
+		}
+	}
+	return total
+}
+
 // NPB returns the profile for one of the paper's six kernels at the
 // given class. Known kernels: lu, is, sp, bt, mg, cg.
 func NPB(kernel string, class Class) AppProfile {
