@@ -1,0 +1,19 @@
+package vmm
+
+import (
+	"testing"
+
+	"atcsched/internal/sim"
+)
+
+// Probe: one busy VCPU on a 2-PCPU node with idle sibling; does the
+// slice-end preempt nudge cause per-slice migration?
+func TestProbeSoloVCPUMigration(t *testing.T) {
+	w := newTestWorld(t, 1, 2)
+	n := w.Node(0)
+	vm := n.NewVM("solo", ClassNonParallel, 1, 0, 1)
+	vm.VCPU(0).SetProcess(&seqProc{actions: []Action{Compute(sim.Second)}}, nil)
+	w.Start()
+	w.RunUntil(sim.Second)
+	t.Logf("ctxSwitches=%d dispatches p0=%d p1=%d", n.CtxSwitches(), n.PCPUs()[0].dispatches, n.PCPUs()[1].dispatches)
+}
