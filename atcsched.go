@@ -23,6 +23,7 @@ import (
 	"atcsched/internal/core"
 	"atcsched/internal/experiment"
 	"atcsched/internal/report"
+	"atcsched/internal/sched/registry"
 	"atcsched/internal/sim"
 	"atcsched/internal/workload"
 )
@@ -72,6 +73,11 @@ const (
 
 // NewScenario builds a simulated cluster; see cluster.New.
 func NewScenario(cfg ScenarioConfig) (*Scenario, error) { return cluster.New(cfg) }
+
+// SchedulerKinds returns every scheduling policy registered with
+// internal/sched/registry, sorted — the valid values everywhere a policy
+// is named (ScenarioConfig, scenario JSON, command-line flags).
+func SchedulerKinds() []string { return registry.Kinds() }
 
 // DefaultScenarioConfig returns a paper-testbed-like configuration.
 func DefaultScenarioConfig(nodes int, kind Approach) ScenarioConfig {

@@ -56,8 +56,8 @@ func TestNPBProfileFacade(t *testing.T) {
 }
 
 func TestExperimentsFacade(t *testing.T) {
-	if len(Experiments()) != 15 {
-		t.Errorf("experiments = %d, want 15", len(Experiments()))
+	if len(Experiments()) != 16 {
+		t.Errorf("experiments = %d, want 16", len(Experiments()))
 	}
 	tables, err := RunExperiment("tab1", "small", 1)
 	if err != nil {
@@ -71,5 +71,21 @@ func TestExperimentsFacade(t *testing.T) {
 	}
 	if _, err := RunExperiment("nope", "small", 1); err == nil {
 		t.Error("bad id accepted")
+	}
+}
+
+func TestSchedulerKindsFacade(t *testing.T) {
+	kinds := SchedulerKinds()
+	if len(kinds) != 8 {
+		t.Fatalf("kinds = %v, want 8 registered policies", kinds)
+	}
+	have := map[string]bool{}
+	for _, k := range kinds {
+		have[k] = true
+	}
+	for _, want := range []string{"CR", "CS", "BS", "DSS", "VS", "ATC", "HY", "EXT"} {
+		if !have[want] {
+			t.Errorf("kinds missing %s: %v", want, kinds)
+		}
 	}
 }

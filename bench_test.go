@@ -150,7 +150,7 @@ func ablATC(b *testing.B, mutate func(*atc.Options), kernel string) float64 {
 		mutate(&opts)
 	}
 	cfg := cluster.DefaultConfig(2, cluster.ATC)
-	cfg.Sched.ATCControl = opts
+	cfg.Sched.Options = opts
 	return benchScenario(b, cfg, kernel)
 }
 

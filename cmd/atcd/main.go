@@ -43,6 +43,7 @@ func main() {
 		alpha     = flag.Float64("alpha", 6, "coarse adjustment step in ms")
 		beta      = flag.Float64("beta", 0.3, "fine adjustment step in ms")
 		periods   = flag.Int("periods", 40, "demo: number of control periods")
+		swap      = flag.String("swap", "", `sim: scheduled policy switches "period:node:KIND[,...]" (node -1 = all), e.g. "10:-1:ATC"`)
 	)
 	flag.Parse()
 
@@ -66,10 +67,14 @@ func main() {
 	case "stdio":
 		src = &stdioSource{r: bufio.NewScanner(os.Stdin)}
 	case "sim":
-		var err error
+		switches, err := parseSwitches(*swap)
+		if err != nil {
+			fatal(err)
+		}
 		sb, err = daemon.NewSimBackend(daemon.SimBackendConfig{
 			Class:      workload.ClassB,
 			MaxPeriods: *periods,
+			Switches:   switches,
 		})
 		if err != nil {
 			fatal(err)
@@ -95,6 +100,31 @@ func main() {
 			break
 		}
 	}
+}
+
+// parseSwitches parses the -swap flag: comma-separated
+// "period:node:KIND" triples.
+func parseSwitches(s string) ([]daemon.PolicySwitch, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []daemon.PolicySwitch
+	for _, part := range strings.Split(s, ",") {
+		f := strings.Split(strings.TrimSpace(part), ":")
+		if len(f) != 3 {
+			return nil, fmt.Errorf("atcd: bad -swap entry %q (want period:node:KIND)", part)
+		}
+		period, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("atcd: bad -swap period %q", f[0])
+		}
+		node, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("atcd: bad -swap node %q", f[1])
+		}
+		out = append(out, daemon.PolicySwitch{AtPeriod: period, Node: node, Kind: f[2]})
+	}
+	return out, nil
 }
 
 // demoSource synthesizes a parallel VM going through idle → rising

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"atcsched/internal/report"
 	"atcsched/internal/scenario"
 	"atcsched/internal/sched/atc"
+	"atcsched/internal/sched/registry"
 	"atcsched/internal/sim"
 	"atcsched/internal/vmm"
 	"atcsched/internal/workload"
@@ -40,8 +42,9 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("atcsim", flag.ContinueOnError)
 	var (
 		specFile = fs.String("f", "", "run a JSON scenario file instead of the flag-built scenario (see examples/scenarios)")
+		list     = fs.Bool("list-schedulers", false, "list every registered scheduling policy with its default options and exit")
 		nodes    = fs.Int("nodes", 2, "physical nodes")
-		schedArg = fs.String("sched", "ATC", "CR | CS | BS | DSS | VS | ATC")
+		schedArg = fs.String("sched", "ATC", "scheduling policy kind (see -list-schedulers)")
 		kernel   = fs.String("kernel", "lu", "NPB kernel: lu, is, sp, bt, mg, cg")
 		class    = fs.String("class", "B", "problem class: A, B, C")
 		vcs      = fs.Int("vcs", 4, "identical virtual clusters (one VM per node each)")
@@ -56,6 +59,10 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *list {
+		return listSchedulers(stdout)
 	}
 
 	if *specFile != "" {
@@ -162,6 +169,36 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if tracer != nil {
 		return emitTrace(stdout, tracer, *trace)
+	}
+	return nil
+}
+
+// listSchedulers prints every registered policy — the paper's comparison
+// set in presentation order, then extensions, then the rest — with its
+// description and default options as the JSON accepted by scenario files.
+func listSchedulers(stdout io.Writer) error {
+	seen := map[string]bool{}
+	var kinds []string
+	for _, a := range cluster.ExtendedApproaches() {
+		kinds = append(kinds, string(a))
+		seen[string(a)] = true
+	}
+	for _, k := range registry.Kinds() {
+		if !seen[k] {
+			kinds = append(kinds, k)
+		}
+	}
+	for _, k := range kinds {
+		d, ok := registry.Lookup(k)
+		if !ok {
+			return registry.UnknownKindError(k)
+		}
+		fmt.Fprintf(stdout, "%s\t%s\n", d.Kind, d.Description)
+		opts, err := json.MarshalIndent(d.Defaults(), "  ", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  defaults: %s\n", opts)
 	}
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"atcsched/internal/sched/registry"
 )
 
 func TestRunTinyScenario(t *testing.T) {
@@ -67,6 +69,44 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		var out strings.Builder
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// TestListSchedulers pins the registry-backed listing: every registered
+// kind appears, the paper's comparison set leads in its order, and each
+// entry carries serialized defaults.
+func TestListSchedulers(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list-schedulers"}, &out); err != nil {
+		t.Fatalf("run -list-schedulers: %v", err)
+	}
+	got := out.String()
+	for _, kind := range registry.Kinds() {
+		if !strings.Contains(got, kind+"\t") {
+			t.Errorf("listing missing kind %s:\n%s", kind, got)
+		}
+	}
+	if !strings.Contains(got, "defaults:") || !strings.Contains(got, `"timeSlice": "30ms"`) {
+		t.Errorf("listing missing serialized defaults:\n%s", got)
+	}
+	// Paper order: CR first, ATC after the other compared kinds.
+	if cr, atc := strings.Index(got, "CR\t"), strings.Index(got, "ATC\t"); !(cr >= 0 && atc > cr) {
+		t.Errorf("comparison set out of order (CR at %d, ATC at %d)", cr, atc)
+	}
+}
+
+// TestUnknownSchedulerFlag pins that a typo'd -sched fails with the
+// registry's enumerating error rather than a bare unknown-kind message.
+func TestUnknownSchedulerFlag(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-sched", "BOGUS", "-nodes", "1", "-vcs", "1", "-vcpus", "1", "-rounds", "1"}, &out)
+	if err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	for _, want := range []string{`"BOGUS"`, "valid:", "CR", "ATC"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
 		}
 	}
 }

@@ -8,22 +8,20 @@ import (
 	"fmt"
 
 	"atcsched/internal/netmodel"
-	"atcsched/internal/sched/atc"
-	"atcsched/internal/sched/balance"
-	"atcsched/internal/sched/cosched"
-	"atcsched/internal/sched/credit"
-	"atcsched/internal/sched/dss"
-	"atcsched/internal/sched/hybrid"
-	"atcsched/internal/sched/vslicer"
+	"atcsched/internal/sched/registry"
 	"atcsched/internal/sim"
 	"atcsched/internal/vmm"
 	"atcsched/internal/workload"
+
+	// Link every in-tree policy so registry lookups resolve.
+	_ "atcsched/internal/sched/all"
 )
 
-// Approach names the scheduling policies the paper compares.
+// Approach names a scheduling policy registered in sched/registry.
 type Approach string
 
-// The compared approaches.
+// The compared approaches (kept as constants for ergonomic literals; the
+// authoritative list lives in the registry).
 const (
 	CR  Approach = "CR"  // Xen Credit (baseline)
 	CS  Approach = "CS"  // dynamic co-scheduling
@@ -36,88 +34,56 @@ const (
 	HY Approach = "HY"
 )
 
-// Approaches returns the paper's six compared approaches, in the
-// paper's comparison order.
-func Approaches() []Approach { return []Approach{CR, BS, CS, DSS, VS, ATC} }
+// Approaches returns the paper's six compared approaches in the paper's
+// comparison order, as declared by the policies' registry descriptors.
+func Approaches() []Approach {
+	kinds := registry.Compared()
+	out := make([]Approach, len(kinds))
+	for i, k := range kinds {
+		out[i] = Approach(k)
+	}
+	return out
+}
 
 // ExtendedApproaches returns the compared set plus the extension
 // baselines this repository adds.
-func ExtendedApproaches() []Approach { return append(Approaches(), HY) }
+func ExtendedApproaches() []Approach {
+	out := Approaches()
+	for _, k := range registry.Extensions() {
+		out = append(out, Approach(k))
+	}
+	return out
+}
 
 // SchedSpec selects and parameterizes a scheduling approach.
 type SchedSpec struct {
 	Kind Approach
+	// Options parameterizes the policy. It may be nil (registry defaults),
+	// the policy's options struct (or a pointer to it) with zero fields
+	// inheriting defaults, or a json.RawMessage / []byte holding a JSON
+	// object merged over the defaults. See registry.Descriptor.Options.
+	Options any
 	// FixedSlice, when nonzero, overrides the base (default) time slice —
 	// used by the static sweeps of Figures 5, 8 and 9 with Kind CR.
 	FixedSlice sim.Time
-	// ATCControl overrides the ATC controller parameters (zero value =
-	// paper defaults). Only meaningful for Kind ATC.
-	ATCControl atc.Options
 	// Boost/Steal toggles on the credit core, for ablations. Both
 	// default to on.
 	DisableBoost bool
 	DisableSteal bool
 }
 
-// factory builds the vmm.SchedulerFactory for the spec.
-func (s SchedSpec) factory() (vmm.SchedulerFactory, error) {
-	base := credit.DefaultOptions()
-	if s.FixedSlice != 0 {
-		if s.FixedSlice < 0 {
-			return nil, fmt.Errorf("cluster: negative fixed slice %v", s.FixedSlice)
-		}
-		base.TimeSlice = s.FixedSlice
+// Factory resolves the spec through the policy registry into a
+// per-node scheduler factory.
+func (s SchedSpec) Factory() (vmm.SchedulerFactory, error) {
+	f, err := registry.Resolve(string(s.Kind), s.Options, registry.Base{
+		FixedSlice:   s.FixedSlice,
+		DisableBoost: s.DisableBoost,
+		DisableSteal: s.DisableSteal,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	base.Boost = !s.DisableBoost
-	base.Steal = !s.DisableSteal
-	switch s.Kind {
-	case CR:
-		return credit.Factory(base), nil
-	case CS:
-		o := cosched.DefaultOptions()
-		o.Credit = base
-		return cosched.Factory(o), nil
-	case BS:
-		o := balance.DefaultOptions()
-		o.Credit = base
-		return balance.Factory(o), nil
-	case DSS:
-		o := dss.DefaultOptions()
-		o.Credit = base
-		return dss.Factory(o), nil
-	case VS:
-		o := vslicer.DefaultOptions()
-		o.Credit = base
-		// A fixed base slice at or below the default microslice would
-		// violate vSlicer's micro < base invariant; keep the paper's 30:1
-		// differentiated-frequency ratio relative to the override instead.
-		if o.MicroSlice >= base.TimeSlice {
-			o.MicroSlice = base.TimeSlice / 30
-			if o.MicroSlice <= 0 {
-				return nil, fmt.Errorf("cluster: VS base slice %v too small to microslice", base.TimeSlice)
-			}
-		}
-		return vslicer.Factory(o), nil
-	case HY:
-		o := hybrid.DefaultOptions()
-		o.Credit = base
-		return hybrid.Factory(o), nil
-	case ATC:
-		o := s.ATCControl
-		if o.Credit.TimeSlice == 0 {
-			o = atc.DefaultOptions()
-			o.AutoDetect = s.ATCControl.AutoDetect
-		}
-		o.Credit.TimeSlice = base.TimeSlice
-		o.Credit.Boost = base.Boost
-		o.Credit.Steal = base.Steal
-		if o.Credit.DefaultWeight == 0 {
-			o.Credit.DefaultWeight = base.DefaultWeight
-		}
-		return atc.Factory(o), nil
-	default:
-		return nil, fmt.Errorf("cluster: unknown approach %q", s.Kind)
-	}
+	return f, nil
 }
 
 // Config parameterizes a scenario.
@@ -126,6 +92,11 @@ type Config struct {
 	Node  vmm.NodeConfig
 	Net   netmodel.Config
 	Sched SchedSpec
+	// NodePolicies, when non-empty, overrides Sched for specific nodes
+	// (keyed by node index), making the cluster heterogeneous: e.g. most
+	// nodes under CR with one node under ATC. Each entry is a complete
+	// SchedSpec; it does not inherit fields from Sched.
+	NodePolicies map[int]SchedSpec
 	// NonParallelAdminSlice, when nonzero, is applied as the AdminSlice
 	// of every non-parallel VM — the ATC(6ms) variant of §IV-C.
 	NonParallelAdminSlice sim.Time
@@ -168,11 +139,27 @@ type Scenario struct {
 
 // New builds the world for cfg.
 func New(cfg Config) (*Scenario, error) {
-	f, err := cfg.Sched.factory()
+	def, err := cfg.Sched.Factory()
 	if err != nil {
 		return nil, err
 	}
-	w, err := vmm.NewWorld(cfg.Nodes, cfg.Node, cfg.Net, f)
+	perNode := make(map[int]vmm.SchedulerFactory, len(cfg.NodePolicies))
+	for i, spec := range cfg.NodePolicies {
+		if i < 0 || i >= cfg.Nodes {
+			return nil, fmt.Errorf("cluster: node policy for node %d outside cluster of %d nodes", i, cfg.Nodes)
+		}
+		f, err := spec.Factory()
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+		perNode[i] = f
+	}
+	w, err := vmm.NewHeteroWorld(cfg.Nodes, cfg.Node, cfg.Net, func(i int) vmm.SchedulerFactory {
+		if f, ok := perNode[i]; ok {
+			return f
+		}
+		return def
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -268,11 +255,12 @@ func (s *Scenario) ContinueFor(d sim.Time) {
 
 // ContinueUntil resumes the world and runs in steps of `step` until done
 // reports true or `cap` more virtual time has elapsed. It returns the
-// final done() value.
+// final done() value. A measured-run completion that stops the engine
+// mid-loop is resumed — the cap, not the stop, bounds this drive.
 func (s *Scenario) ContinueUntil(done func() bool, step, cap sim.Time) bool {
-	s.World.Eng.Resume()
 	deadline := s.World.Eng.Now() + cap
 	for !done() && s.World.Eng.Now() < deadline {
+		s.World.Eng.Resume()
 		next := s.World.Eng.Now() + step
 		if next > deadline {
 			next = deadline

@@ -99,8 +99,7 @@ func TestFixedSliceAppliesToCR(t *testing.T) {
 
 func TestATCOptionsThreaded(t *testing.T) {
 	cfg := DefaultConfig(1, ATC)
-	cfg.Sched.ATCControl = atc.DefaultOptions()
-	cfg.Sched.ATCControl.AutoDetect = true
+	cfg.Sched.Options = atc.Options{AutoDetect: true}
 	s := MustNew(cfg)
 	sched := s.World.Node(0).Scheduler().(*atc.Scheduler)
 	if sched.Controller().Config().MinThreshold != 300*sim.Microsecond {

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"atcsched/internal/core"
+	"atcsched/internal/sched/atc"
+	"atcsched/internal/sched/registry"
+	"atcsched/internal/sim"
+)
+
+func TestNodePoliciesHeterogeneousCluster(t *testing.T) {
+	cfg := DefaultConfig(3, CR)
+	cfg.Node.PCPUs = 2
+	cfg.Node.Dom0VCPUs = 1
+	cfg.NodePolicies = map[int]SchedSpec{
+		1: {Kind: ATC},
+		2: {Kind: CS},
+	}
+	s := MustNew(cfg)
+	for i, want := range []string{"CR", "ATC", "CS"} {
+		if got := s.World.Node(i).Scheduler().Name(); got != want {
+			t.Errorf("node %d scheduler = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestNodePolicyErrors(t *testing.T) {
+	cfg := DefaultConfig(2, CR)
+	cfg.NodePolicies = map[int]SchedSpec{5: {Kind: ATC}}
+	if _, err := New(cfg); err == nil {
+		t.Error("out-of-range node policy accepted")
+	}
+	cfg.NodePolicies = map[int]SchedSpec{0: {Kind: Approach("XX")}}
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown node policy kind accepted")
+	}
+}
+
+// TestUnknownApproachErrorListsKinds pins the cluster-layer error
+// format: the message enumerates every registered policy.
+func TestUnknownApproachErrorListsKinds(t *testing.T) {
+	_, err := New(DefaultConfig(1, Approach("XX")))
+	if err == nil {
+		t.Fatal("unknown approach accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"XX"`) {
+		t.Errorf("error %q does not quote the bad kind", msg)
+	}
+	for _, k := range registry.Kinds() {
+		if !strings.Contains(msg, k) {
+			t.Errorf("error %q does not list valid kind %s", msg, k)
+		}
+	}
+}
+
+// TestATCPartialOptionsPreserved is the regression test for the old
+// cluster ATC branch, which silently replaced a user-supplied options
+// struct with the defaults whenever Credit.TimeSlice was zero — a
+// partial override (just α here) must survive with defaults filled in.
+func TestATCPartialOptionsPreserved(t *testing.T) {
+	cfg := DefaultConfig(1, ATC)
+	cfg.Sched.Options = atc.Options{Control: core.Config{Alpha: 9 * sim.Millisecond}}
+	s := MustNew(cfg)
+	got := s.World.Node(0).Scheduler().(*atc.Scheduler).Controller().Config()
+	if got.Alpha != 9*sim.Millisecond {
+		t.Errorf("user α discarded: %v", got.Alpha)
+	}
+	def := core.DefaultConfig()
+	if got.Default != def.Default || got.MinThreshold != def.MinThreshold || got.Window != def.Window {
+		t.Errorf("defaults lost: %+v", got)
+	}
+}
+
+// TestApproachesMatchRegistry keeps the facade lists and the registry in
+// sync: the compared set is ordered and HY is the only extension.
+func TestApproachesMatchRegistry(t *testing.T) {
+	want := []Approach{CR, BS, CS, DSS, VS, ATC}
+	got := Approaches()
+	if len(got) != len(want) {
+		t.Fatalf("Approaches() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Approaches() = %v, want %v", got, want)
+		}
+	}
+	ext := ExtendedApproaches()
+	if len(ext) != len(got)+1 || ext[len(ext)-1] != HY {
+		t.Errorf("ExtendedApproaches() = %v", ext)
+	}
+}

@@ -33,17 +33,17 @@ import (
 // Config parameterizes a Controller.
 type Config struct {
 	// Default is the VMM's default time slice (Xen Credit: 30 ms).
-	Default sim.Time
+	Default sim.Time `json:"default,omitzero"`
 	// MinThreshold is the floor below which slices are never shortened
 	// (§III-B finds 0.3 ms optimal via the Euclidean metric).
-	MinThreshold sim.Time
+	MinThreshold sim.Time `json:"minThreshold,omitzero"`
 	// Alpha is the coarse slice-adjustment step (α > β).
-	Alpha sim.Time
+	Alpha sim.Time `json:"alpha,omitzero"`
 	// Beta is the fine slice-adjustment step used near the threshold.
-	Beta sim.Time
+	Beta sim.Time `json:"beta,omitzero"`
 	// Window is the number of scheduling periods of history consulted
 	// (the paper uses 3).
-	Window int
+	Window int `json:"window,omitzero"`
 }
 
 // DefaultConfig returns the parameters used throughout the evaluation:

@@ -6,9 +6,13 @@ import (
 	"atcsched/internal/netmodel"
 	"atcsched/internal/sched/credit"
 	"atcsched/internal/sched/extslice"
+	"atcsched/internal/sched/registry"
 	"atcsched/internal/sim"
 	"atcsched/internal/vmm"
 	"atcsched/internal/workload"
+
+	// Link every policy so PolicySwitch kinds resolve by name.
+	_ "atcsched/internal/sched/all"
 )
 
 // SimBackend closes the control loop against a live simulated cluster:
@@ -26,6 +30,7 @@ type SimBackend struct {
 	MaxPeriods int
 	periods    int
 	runs       []*workload.ParallelRun
+	switches   []PolicySwitch
 }
 
 // SimBackendConfig sizes the embedded scenario.
@@ -42,6 +47,21 @@ type SimBackendConfig struct {
 	MaxPeriods int
 	// Seed drives the workloads.
 	Seed uint64
+	// Switches schedules live policy replacements during the run. A node
+	// switched away from EXT stops accepting the daemon's slices (Apply
+	// skips it) until a later switch brings EXT back.
+	Switches []PolicySwitch
+}
+
+// PolicySwitch flips a node's scheduling policy at a control period.
+type PolicySwitch struct {
+	// AtPeriod is the control period (1-based) before which the switch is
+	// requested; the node applies it at its next period boundary.
+	AtPeriod int
+	// Node is the target node index, or -1 for every node.
+	Node int
+	// Kind names the replacement policy (registry defaults are used).
+	Kind string
 }
 
 // NewSimBackend builds the cluster and returns the backend, which
@@ -70,7 +90,18 @@ func NewSimBackend(cfg SimBackendConfig) (*SimBackend, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &SimBackend{World: w, period: ncfg.SchedPeriod, MaxPeriods: cfg.MaxPeriods}
+	for _, sw := range cfg.Switches {
+		if sw.AtPeriod < 1 {
+			return nil, fmt.Errorf("sim backend: switch period %d must be >= 1", sw.AtPeriod)
+		}
+		if sw.Node < -1 || sw.Node >= cfg.Nodes {
+			return nil, fmt.Errorf("sim backend: switch node %d out of range", sw.Node)
+		}
+		if err := registry.Validate(sw.Kind, nil); err != nil {
+			return nil, fmt.Errorf("sim backend: %w", err)
+		}
+	}
+	b := &SimBackend{World: w, period: ncfg.SchedPeriod, MaxPeriods: cfg.MaxPeriods, switches: cfg.Switches}
 	prof := workload.NPB(cfg.Kernel, cfg.Class)
 	for vc := 0; vc < cfg.Clusters; vc++ {
 		var vms []*vmm.VM
@@ -110,6 +141,9 @@ func (b *SimBackend) Sample() ([]VMSample, error) {
 		return nil, errDone{}
 	}
 	b.periods++
+	if err := b.applySwitches(); err != nil {
+		return nil, err
+	}
 	b.World.RunUntil(b.World.Eng.Now() + b.period)
 	var out []VMSample
 	for _, vm := range b.World.GuestVMs() {
@@ -123,14 +157,38 @@ func (b *SimBackend) Sample() ([]VMSample, error) {
 	return out, nil
 }
 
-// Apply implements Actuator: write the slices into every node's
-// scheduler (each node holds only its own VMs; setting a foreign id is
-// harmless).
+// applySwitches requests the policy switches due at the current control
+// period; each lands on its node's next scheduling-period boundary.
+func (b *SimBackend) applySwitches() error {
+	for _, sw := range b.switches {
+		if sw.AtPeriod != b.periods {
+			continue
+		}
+		f, err := registry.Resolve(sw.Kind, nil, registry.Base{})
+		if err != nil {
+			return fmt.Errorf("sim backend: %w", err)
+		}
+		for _, n := range b.World.Nodes() {
+			if sw.Node >= 0 && n.ID() != sw.Node {
+				continue
+			}
+			if err := n.SwapScheduler(f); err != nil {
+				return fmt.Errorf("sim backend: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Apply implements Actuator: write the slices into every node still
+// running the externally-controlled scheduler. Nodes switched to a
+// self-adapting policy (via PolicySwitch) own their slices and are
+// skipped.
 func (b *SimBackend) Apply(slices map[int]sim.Time) error {
 	for _, n := range b.World.Nodes() {
 		sched, ok := n.Scheduler().(*extslice.Scheduler)
 		if !ok {
-			return fmt.Errorf("sim backend: node %d scheduler is %T", n.ID(), n.Scheduler())
+			continue
 		}
 		for _, vm := range n.VMs() {
 			if sl, ok := slices[vm.ID()]; ok {

@@ -21,7 +21,7 @@ func ablateExec(sc Scale, kernel string, nodes int, seed uint64, mutate func(*at
 		mutate(&opts)
 	}
 	cfg := cluster.DefaultConfig(nodes, cluster.ATC)
-	cfg.Sched.ATCControl = opts
+	cfg.Sched.Options = opts
 	cfg.Seed = seed
 	s, err := cluster.New(cfg)
 	if err != nil {

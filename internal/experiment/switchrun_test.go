@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSwitchExperimentShowsRecovery runs the live-switch experiment at
+// the small scale and checks its shape: CR windows first, ATC windows
+// after, and a settled spin latency well below the CR baseline.
+func TestSwitchExperimentShowsRecovery(t *testing.T) {
+	e, err := ByID("switch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	out := tables[0].String()
+	if !strings.Contains(out, "CR") || !strings.Contains(out, "ATC") {
+		t.Fatalf("table missing policy phases:\n%s", out)
+	}
+	// The note is only emitted when the post phase has samples; it carries
+	// the recovery factor.
+	if !strings.Contains(out, "x lower") {
+		t.Errorf("no recovery summary:\n%s", out)
+	}
+}

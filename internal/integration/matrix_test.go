@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"atcsched/internal/cluster"
+	"atcsched/internal/sched/atc"
 	"atcsched/internal/sim"
 	"atcsched/internal/workload"
 )
@@ -46,7 +47,7 @@ func TestApproachKernelMatrix(t *testing.T) {
 func TestATCVariantsMatrix(t *testing.T) {
 	variants := map[string]func(*cluster.Config){
 		"stock":      func(c *cluster.Config) {},
-		"autodetect": func(c *cluster.Config) { c.Sched.ATCControl.AutoDetect = true },
+		"autodetect": func(c *cluster.Config) { c.Sched.Options = atc.Options{AutoDetect: true} },
 		"admin6ms":   func(c *cluster.Config) { c.NonParallelAdminSlice = 6 * sim.Millisecond },
 		"noboost":    func(c *cluster.Config) { c.Sched.DisableBoost = true },
 		"nosteal":    func(c *cluster.Config) { c.Sched.DisableSteal = true },

@@ -38,6 +38,12 @@ type result struct {
 	// auditTimes are the virtual times the hook observed, in call order —
 	// the clock-monotonicity witness.
 	auditTimes []sim.Time
+	// endTime, swaps and tick witness the live-switch property: per-node
+	// applied-swap counts at the end of the run, the virtual end time,
+	// and the scheduling period (swaps apply at period boundaries).
+	endTime sim.Time
+	swaps   []uint64
+	tick    sim.Time
 	// fingerprint is set only for traced runs: result stats plus the
 	// rendered scheduling trace, compared byte-for-byte across replays.
 	fingerprint string
@@ -56,6 +62,17 @@ func runOne(spec Spec, approach cluster.Approach, traced bool) (*result, error) 
 	}
 	cfg.Sched.DisableBoost = spec.DisableBoost
 	cfg.Sched.DisableSteal = spec.DisableSteal
+	for i, k := range spec.NodeKinds {
+		if k == "" {
+			continue
+		}
+		if cfg.NodePolicies == nil {
+			cfg.NodePolicies = map[int]cluster.SchedSpec{}
+		}
+		pin := cfg.Sched // inherit the spec's base-slice/boost/steal knobs
+		pin.Kind = cluster.Approach(k)
+		cfg.NodePolicies[i] = pin
+	}
 	cfg.AuditEvery = auditEvery
 	res := &result{approach: approach}
 	cfg.OnAudit = func(at sim.Time, errs []error) {
@@ -83,6 +100,21 @@ func runOne(spec Spec, approach cluster.Approach, traced bool) (*result, error) 
 	if err := buildJobs(s, spec); err != nil {
 		return nil, err
 	}
+	if spec.SwapKind != "" {
+		swap := cfg.Sched
+		swap.Kind = cluster.Approach(spec.SwapKind)
+		f, err := swap.Factory()
+		if err != nil {
+			return nil, err
+		}
+		s.World.Eng.Schedule(sim.FromSeconds(spec.SwapAtSec), func() {
+			for _, n := range s.World.Nodes() {
+				if err := n.SwapScheduler(f); err != nil {
+					panic(err) // nil factory cannot reach here
+				}
+			}
+		})
+	}
 	res.completed = s.Go(spec.horizon())
 	for _, run := range s.Runs() {
 		res.runRounds = append(res.runRounds, run.Rounds())
@@ -108,6 +140,11 @@ func runOne(spec Spec, approach cluster.Approach, traced bool) (*result, error) 
 	}
 	res.auditViols = s.AuditViolations()
 	res.finalAudit = s.World.Audit()
+	res.endTime = s.World.Eng.Now()
+	res.tick = cfg.Node.TickInterval
+	for _, n := range s.World.Nodes() {
+		res.swaps = append(res.swaps, n.Swaps())
+	}
 	if traced {
 		res.fingerprint = fingerprint(s, tracer)
 	}
@@ -219,6 +256,18 @@ func (r *result) check(spec Spec) error {
 		if r.auditTimes[i] < r.auditTimes[i-1] {
 			return fmt.Errorf("clock: audit time regressed %v -> %v",
 				r.auditTimes[i-1], r.auditTimes[i])
+		}
+	}
+	if spec.SwapKind != "" {
+		// Swaps apply at each node's next period boundary; phase stagger
+		// keeps boundaries within one period of each other, so any node
+		// still unswapped two periods past the request missed it.
+		deadline := sim.FromSeconds(spec.SwapAtSec) + 2*r.tick
+		for i, n := range r.swaps {
+			if r.endTime >= deadline && n == 0 {
+				return fmt.Errorf("switch: node %d never swapped to %s (requested at %vs, ran to %v)",
+					i, spec.SwapKind, spec.SwapAtSec, r.endTime)
+			}
 		}
 	}
 	return nil

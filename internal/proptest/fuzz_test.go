@@ -45,6 +45,11 @@ func FuzzWorld(f *testing.F) {
 		for i := range spec.Jobs {
 			spec.Jobs[i].Node %= spec.Nodes
 		}
+		// The rewritten world may have fewer nodes than the generated
+		// per-node policy pins.
+		if len(spec.NodeKinds) > spec.Nodes {
+			spec.NodeKinds = spec.NodeKinds[:spec.Nodes]
+		}
 		if err := spec.Validate(); err != nil {
 			t.Fatalf("fuzz-derived spec invalid: %v", err)
 		}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"atcsched/internal/rng"
+	"atcsched/internal/sched/registry"
 	"atcsched/internal/sim"
 	"atcsched/internal/workload"
 )
@@ -54,6 +55,16 @@ type Spec struct {
 	// Jobs are non-parallel co-tenants (background noise; their work is
 	// time-dependent and excluded from conservation checks).
 	Jobs []JobSpec `json:"jobs,omitempty"`
+	// NodeKinds, when present, pins individual nodes to a registered
+	// scheduler kind regardless of the approach under test (heterogeneous
+	// clusters). Entry i applies to node i; an empty string keeps the
+	// approach's scheduler on that node.
+	NodeKinds []string `json:"nodeKinds,omitempty"`
+	// SwapKind, when nonempty, live-swaps every node to this registered
+	// kind at SwapAtSec of virtual time — the mid-run policy-switch
+	// property.
+	SwapKind  string  `json:"swapKind,omitempty"`
+	SwapAtSec float64 `json:"swapAtSec,omitempty"`
 	// HorizonSec caps the run's virtual time (liveness safety net).
 	HorizonSec float64 `json:"horizonSec"`
 }
@@ -122,6 +133,28 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("proptest: cluster %d: rounds %d out of [1,%d]", i, c.Rounds, maxRounds)
 		case c.Iterations < 1 || c.Iterations > maxIterations:
 			return fmt.Errorf("proptest: cluster %d: iterations %d out of [1,%d]", i, c.Iterations, maxIterations)
+		}
+	}
+	if len(s.NodeKinds) > s.Nodes {
+		return fmt.Errorf("proptest: %d node kinds for %d nodes", len(s.NodeKinds), s.Nodes)
+	}
+	for i, k := range s.NodeKinds {
+		if k == "" {
+			continue
+		}
+		if _, ok := registry.Lookup(k); !ok {
+			return fmt.Errorf("proptest: node kind %d: %w", i, registry.UnknownKindError(k))
+		}
+	}
+	switch {
+	case s.SwapKind == "" && s.SwapAtSec != 0:
+		return fmt.Errorf("proptest: swapAtSec %v without swapKind", s.SwapAtSec)
+	case s.SwapKind != "":
+		if _, ok := registry.Lookup(s.SwapKind); !ok {
+			return fmt.Errorf("proptest: swap: %w", registry.UnknownKindError(s.SwapKind))
+		}
+		if s.SwapAtSec <= 0 || s.SwapAtSec > s.HorizonSec {
+			return fmt.Errorf("proptest: swapAtSec %vs out of (0,%vs]", s.SwapAtSec, s.HorizonSec)
 		}
 	}
 	for i, j := range s.Jobs {
@@ -246,6 +279,23 @@ func Generate(seed uint64, lim Limits) Spec {
 			j.Name = profs[src.Intn(len(profs))].Name
 		}
 		spec.Jobs = append(spec.Jobs, j)
+	}
+	// A slice of scenarios exercises the registry-era features: pinned
+	// heterogeneous node policies and a mid-run live policy switch.
+	kinds := registry.Kinds()
+	if src.Float64() < 0.15 {
+		for i := 0; i < spec.Nodes; i++ {
+			if src.Float64() < 0.5 {
+				spec.NodeKinds = append(spec.NodeKinds, kinds[src.Intn(len(kinds))])
+			} else {
+				spec.NodeKinds = append(spec.NodeKinds, "")
+			}
+		}
+	}
+	if src.Float64() < 0.15 {
+		spec.SwapKind = kinds[src.Intn(len(kinds))]
+		// Early in the run so the swap lands while measured work is live.
+		spec.SwapAtSec = 0.05 + 0.5*src.Float64()
 	}
 	return spec
 }

@@ -179,6 +179,12 @@ func TestValidateRejectsOutOfBounds(t *testing.T) {
 		{"zero horizon", func(s *proptest.Spec) { s.HorizonSec = 0 }},
 		{"huge horizon", func(s *proptest.Spec) { s.HorizonSec = 1e18 }},
 		{"negative slice", func(s *proptest.Spec) { s.FixedSliceMs = -1 }},
+		{"too many node kinds", func(s *proptest.Spec) { s.NodeKinds = make([]string, s.Nodes+1) }},
+		{"unknown node kind", func(s *proptest.Spec) { s.NodeKinds = []string{"WARP"} }},
+		{"unknown swap kind", func(s *proptest.Spec) { s.SwapKind = "WARP"; s.SwapAtSec = 1 }},
+		{"swap time without kind", func(s *proptest.Spec) { s.SwapAtSec = 1 }},
+		{"swap time zero", func(s *proptest.Spec) { s.SwapKind = "ATC" }},
+		{"swap past horizon", func(s *proptest.Spec) { s.SwapKind = "ATC"; s.SwapAtSec = s.HorizonSec + 1 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

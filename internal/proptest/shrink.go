@@ -56,6 +56,10 @@ func candidates(s Spec) []Spec {
 				c.Jobs[i].Node = c.Nodes - 1
 			}
 		}
+		// Node-kind pins for dropped nodes go with them.
+		if len(c.NodeKinds) > c.Nodes {
+			c.NodeKinds = c.NodeKinds[:c.Nodes]
+		}
 		out = append(out, c)
 	}
 	if s.PCPUs > 1 {
@@ -89,6 +93,17 @@ func candidates(s Spec) []Spec {
 		c.DisableSteal = false
 		out = append(out, c)
 	}
+	if len(s.NodeKinds) > 0 {
+		c := clone(s)
+		c.NodeKinds = nil
+		out = append(out, c)
+	}
+	if s.SwapKind != "" {
+		c := clone(s)
+		c.SwapKind = ""
+		c.SwapAtSec = 0
+		out = append(out, c)
+	}
 	return out
 }
 
@@ -105,5 +120,6 @@ func clone(s Spec) Spec {
 	c := s
 	c.Clusters = append([]ClusterSpec(nil), s.Clusters...)
 	c.Jobs = append([]JobSpec(nil), s.Jobs...)
+	c.NodeKinds = append([]string(nil), s.NodeKinds...)
 	return c
 }

@@ -1,0 +1,91 @@
+package scenario_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atcsched/internal/scenario"
+)
+
+// examplesDir is the committed scenario gallery shipped with the repo.
+const examplesDir = "../../examples/scenarios"
+
+// TestExampleScenariosValidate pins that every committed example file
+// loads and validates — the gallery must never rot.
+func TestExampleScenariosValidate(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(examplesDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("only %d example scenarios found in %s", len(files), examplesDir)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			f, err := os.Open(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := scenario.Load(f); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// loadExample builds one committed example scenario.
+func loadExample(t *testing.T, name string) *scenario.Result {
+	t.Helper()
+	f, err := os.Open(filepath.Join(examplesDir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec, err := scenario.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestHeteroExample pins the committed heterogeneous-cluster example:
+// CS cluster-wide with a custom spin threshold, node 1 on ATC, node 2
+// on plain credit.
+func TestHeteroExample(t *testing.T) {
+	res := loadExample(t, "hetero.json")
+	want := map[int]string{0: "CS", 1: "ATC", 2: "CR"}
+	for n, name := range want {
+		if got := res.Scenario.World.Node(n).Scheduler().Name(); got != name {
+			t.Errorf("node %d scheduler = %s, want %s", n, got, name)
+		}
+	}
+}
+
+// TestPolicySwitchExample runs the committed live-switch example to
+// completion: it starts under CR and every node must have flipped to
+// ATC by the time the measured work finishes.
+func TestPolicySwitchExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run")
+	}
+	res := loadExample(t, "policy-switch.json")
+	if _, err := res.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Scenario.World.Nodes() {
+		if n.Scheduler().Name() != "ATC" || n.Swaps() != 1 {
+			t.Errorf("node %d: scheduler %s, swaps %d; want ATC after one swap",
+				n.ID(), n.Scheduler().Name(), n.Swaps())
+		}
+	}
+	if errs := res.Scenario.World.Audit(); len(errs) > 0 {
+		t.Fatalf("audit after switch: %v", errs[0])
+	}
+}

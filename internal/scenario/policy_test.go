@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"atcsched/internal/sched/atc"
+	"atcsched/internal/sched/cosched"
+	"atcsched/internal/sched/registry"
+	"atcsched/internal/sim"
+)
+
+// TestSchedulerOptionsThreaded shows acceptance criterion (a): scenario
+// JSON tunes ATC's α/β and CS's spin-wait threshold, with unset fields
+// keeping their defaults.
+func TestSchedulerOptionsThreaded(t *testing.T) {
+	spec, err := Load(strings.NewReader(`{
+	  "nodes": 1, "pcpusPerNode": 2,
+	  "scheduler": {"kind": "ATC", "options": {"control": {"alpha": "3ms", "beta": "0.2ms"}}},
+	  "virtualClusters": [{"vcpus": 2, "rounds": 1}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := res.Scenario.World.Node(0).Scheduler().(*atc.Scheduler).Controller().Config()
+	if cfg.Alpha != 3*sim.Millisecond || cfg.Beta != 200*sim.Microsecond {
+		t.Errorf("α=%v β=%v, want 3ms/0.2ms", cfg.Alpha, cfg.Beta)
+	}
+	if cfg.MinThreshold != 300*sim.Microsecond {
+		t.Errorf("threshold default lost: %v", cfg.MinThreshold)
+	}
+
+	spec, err = Load(strings.NewReader(`{
+	  "nodes": 1, "pcpusPerNode": 2,
+	  "scheduler": {"kind": "CS", "options": {"spinWaitThreshold": "250us"}},
+	  "virtualClusters": [{"vcpus": 2, "rounds": 1}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.Scenario.World.Node(0).Scheduler().(*cosched.Scheduler)
+	if got := cs.Options().SpinWaitThreshold; got != 250*sim.Microsecond {
+		t.Errorf("spin-wait threshold = %v, want 250us", got)
+	}
+}
+
+// TestNodePoliciesHeterogeneous shows acceptance criterion (b): a JSON
+// spec assigns different policies to different nodes.
+func TestNodePoliciesHeterogeneous(t *testing.T) {
+	spec, err := Load(strings.NewReader(`{
+	  "nodes": 3, "pcpusPerNode": 2,
+	  "scheduler": {"kind": "CR"},
+	  "nodePolicies": [
+	    {"nodes": [1], "kind": "ATC"},
+	    {"nodes": [2], "kind": "CS", "options": {"spinWaitThreshold": "100us"}}
+	  ],
+	  "virtualClusters": [{"vcpus": 2, "rounds": 1}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Scenario.World
+	for i, want := range []string{"CR", "ATC", "CS"} {
+		if got := w.Node(i).Scheduler().Name(); got != want {
+			t.Errorf("node %d scheduler = %s, want %s", i, got, want)
+		}
+	}
+}
+
+// TestPolicySwitchMidRun shows acceptance criterion (c): a timed switch
+// in the JSON flips running nodes from CR to ATC.
+func TestPolicySwitchMidRun(t *testing.T) {
+	spec, err := Load(strings.NewReader(`{
+	  "nodes": 2, "pcpusPerNode": 2,
+	  "scheduler": {"kind": "CR"},
+	  "policySwitches": [{"atSec": 0.1, "kind": "ATC"}],
+	  "virtualClusters": [{"vcpus": 2, "kernel": "ep", "class": "A", "rounds": 1, "forever": true}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := res.Scenario
+	sc.GoFor(50 * sim.Millisecond)
+	for i := 0; i < 2; i++ {
+		if got := sc.World.Node(i).Scheduler().Name(); got != "CR" {
+			t.Fatalf("node %d flipped to %s before the switch time", i, got)
+		}
+	}
+	swapped := func() bool {
+		return sc.World.Node(0).Swaps() == 1 && sc.World.Node(1).Swaps() == 1
+	}
+	if !sc.ContinueUntil(swapped, 30*sim.Millisecond, 2*sim.Second) {
+		t.Fatal("switch never applied on both nodes")
+	}
+	for i := 0; i < 2; i++ {
+		if got := sc.World.Node(i).Scheduler().Name(); got != "ATC" {
+			t.Errorf("node %d scheduler = %s after switch, want ATC", i, got)
+		}
+		if sc.World.Node(i).Swaps() != 1 {
+			t.Errorf("node %d swaps = %d, want 1", i, sc.World.Node(i).Swaps())
+		}
+	}
+	sc.World.MustAudit()
+}
+
+func TestPolicyValidationErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown policy kind":   `{"nodes": 2, "scheduler": {"kind": "CR"}, "nodePolicies": [{"nodes": [0], "kind": "NOPE"}], "virtualClusters": [{}]}`,
+		"policy node range":     `{"nodes": 2, "scheduler": {"kind": "CR"}, "nodePolicies": [{"nodes": [7], "kind": "ATC"}], "virtualClusters": [{}]}`,
+		"policy empty nodes":    `{"nodes": 2, "scheduler": {"kind": "CR"}, "nodePolicies": [{"kind": "ATC"}], "virtualClusters": [{}]}`,
+		"policy node twice":     `{"nodes": 2, "scheduler": {"kind": "CR"}, "nodePolicies": [{"nodes": [0], "kind": "ATC"}, {"nodes": [0], "kind": "CS"}], "virtualClusters": [{}]}`,
+		"bad policy options":    `{"nodes": 2, "scheduler": {"kind": "CR"}, "nodePolicies": [{"nodes": [0], "kind": "CS", "options": {"nope": 1}}], "virtualClusters": [{}]}`,
+		"bad scheduler options": `{"nodes": 1, "scheduler": {"kind": "ATC", "options": {"control": {"alpha": "-1ms"}}}, "virtualClusters": [{}]}`,
+		"switch kind":           `{"nodes": 1, "scheduler": {"kind": "CR"}, "policySwitches": [{"atSec": 1, "kind": "NOPE"}], "virtualClusters": [{}]}`,
+		"switch at zero":        `{"nodes": 1, "scheduler": {"kind": "CR"}, "policySwitches": [{"atSec": 0, "kind": "ATC"}], "virtualClusters": [{}]}`,
+		"switch at huge":        `{"nodes": 1, "scheduler": {"kind": "CR"}, "policySwitches": [{"atSec": 1e12, "kind": "ATC"}], "virtualClusters": [{}]}`,
+		"switch node range":     `{"nodes": 1, "scheduler": {"kind": "CR"}, "policySwitches": [{"atSec": 1, "kind": "ATC", "nodes": [3]}], "virtualClusters": [{}]}`,
+	}
+	for name, js := range cases {
+		if _, err := Load(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestUnknownSchedulerErrorEnumeratesKinds pins the error format: an
+// unknown kind anywhere in the spec names every registered policy.
+func TestUnknownSchedulerErrorEnumeratesKinds(t *testing.T) {
+	specs := map[string]string{
+		"scheduler":  `{"nodes": 1, "scheduler": {"kind": "XEN5"}, "virtualClusters": [{}]}`,
+		"nodePolicy": `{"nodes": 1, "scheduler": {"kind": "CR"}, "nodePolicies": [{"nodes": [0], "kind": "XEN5"}], "virtualClusters": [{}]}`,
+		"switch":     `{"nodes": 1, "scheduler": {"kind": "CR"}, "policySwitches": [{"atSec": 1, "kind": "XEN5"}], "virtualClusters": [{}]}`,
+	}
+	for where, js := range specs {
+		_, err := Load(strings.NewReader(js))
+		if err == nil {
+			t.Fatalf("%s: unknown kind accepted", where)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, `"XEN5"`) {
+			t.Errorf("%s: error %q does not quote the bad kind", where, msg)
+		}
+		for _, k := range registry.Kinds() {
+			if !strings.Contains(msg, k) {
+				t.Errorf("%s: error %q does not list valid kind %s", where, msg, k)
+			}
+		}
+	}
+}

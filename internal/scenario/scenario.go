@@ -13,6 +13,7 @@ import (
 
 	"atcsched/internal/cluster"
 	"atcsched/internal/report"
+	"atcsched/internal/sched/registry"
 	"atcsched/internal/sim"
 	"atcsched/internal/vmm"
 	"atcsched/internal/workload"
@@ -34,17 +35,52 @@ type Spec struct {
 	VirtualClusters []VCSpec `json:"virtualClusters"`
 	// Jobs lists the non-parallel tenants.
 	Jobs []JobSpec `json:"jobs,omitempty"`
+	// NodePolicies assigns different scheduling policies to specific
+	// nodes, overriding Scheduler there (heterogeneous clusters).
+	NodePolicies []NodePolicySpec `json:"nodePolicies,omitempty"`
+	// Switches schedules live policy replacements at virtual times
+	// during the run (e.g. flip CR to ATC mid-experiment).
+	Switches []SwitchSpec `json:"policySwitches,omitempty"`
 }
 
 // SchedulerSpec selects the VMM scheduling approach.
 type SchedulerSpec struct {
-	// Kind is CR, CS, BS, DSS, VS, ATC or HY.
+	// Kind names a registered policy (see `atcsim -list-schedulers`):
+	// CR, CS, BS, DSS, VS, ATC, HY or EXT.
 	Kind string `json:"kind"`
+	// Options parameterizes the policy: a JSON object merged over the
+	// policy's defaults (e.g. {"control": {"alpha": "6ms"}} for ATC, or
+	// {"spinWaitThreshold": "150us"} for CS). Unknown fields are errors.
+	Options json.RawMessage `json:"options,omitempty"`
 	// FixedSliceMs pins the base slice (CR sweeps).
 	FixedSliceMs float64 `json:"fixedSliceMs,omitempty"`
 	// NonParallelAdminSliceMs applies an admin slice to every
 	// non-parallel VM (the ATC(6ms) variant).
 	NonParallelAdminSliceMs float64 `json:"nonParallelAdminSliceMs,omitempty"`
+}
+
+// NodePolicySpec pins a scheduling policy on a subset of nodes. It is a
+// complete policy selection — it does not inherit the top-level
+// scheduler's options or slice overrides.
+type NodePolicySpec struct {
+	// Nodes lists the node indices the policy applies to.
+	Nodes []int `json:"nodes"`
+	// Kind and Options as in SchedulerSpec.
+	Kind    string          `json:"kind"`
+	Options json.RawMessage `json:"options,omitempty"`
+}
+
+// SwitchSpec replaces the scheduling policy on running nodes at a
+// virtual time. The swap lands on each node's next period boundary
+// after AtSec.
+type SwitchSpec struct {
+	// AtSec is the virtual time of the switch (> 0).
+	AtSec float64 `json:"atSec"`
+	// Nodes lists target node indices; empty means every node.
+	Nodes []int `json:"nodes,omitempty"`
+	// Kind and Options select the replacement policy.
+	Kind    string          `json:"kind"`
+	Options json.RawMessage `json:"options,omitempty"`
 }
 
 // VCSpec describes one virtual cluster.
@@ -95,6 +131,7 @@ const (
 	maxHorizonSec   = 864000 // 10 virtual days
 	maxSliceMs      = 10000
 	maxIntervalMs   = 60000
+	maxSwitches     = 64
 )
 
 // Load parses and validates a JSON spec.
@@ -134,12 +171,8 @@ func (s *Spec) Validate() error {
 	if s.Scheduler.Kind == "" {
 		s.Scheduler.Kind = "ATC"
 	}
-	valid := map[string]bool{}
-	for _, a := range cluster.ExtendedApproaches() {
-		valid[string(a)] = true
-	}
-	if !valid[strings.ToUpper(s.Scheduler.Kind)] {
-		return fmt.Errorf("scenario: unknown scheduler %q", s.Scheduler.Kind)
+	if err := registry.Validate(s.Scheduler.Kind, s.Scheduler.Options); err != nil {
+		return fmt.Errorf("scenario: %w", err)
 	}
 	if s.Scheduler.FixedSliceMs < 0 || s.Scheduler.NonParallelAdminSliceMs < 0 {
 		return fmt.Errorf("scenario: negative slice override")
@@ -241,6 +274,43 @@ func (s *Spec) Validate() error {
 			j.IntervalMs = 10
 		}
 	}
+	pinned := map[int]bool{}
+	for i, np := range s.NodePolicies {
+		if len(np.Nodes) == 0 {
+			return fmt.Errorf("scenario: node policy %d: empty node list", i)
+		}
+		for _, n := range np.Nodes {
+			if n < 0 || n >= s.Nodes {
+				return fmt.Errorf("scenario: node policy %d: node %d out of range", i, n)
+			}
+			if pinned[n] {
+				return fmt.Errorf("scenario: node %d has multiple node policies", n)
+			}
+			pinned[n] = true
+		}
+		if err := registry.Validate(np.Kind, np.Options); err != nil {
+			return fmt.Errorf("scenario: node policy %d: %w", i, err)
+		}
+	}
+	if len(s.Switches) > maxSwitches {
+		return fmt.Errorf("scenario: %d policy switches exceeds cap %d", len(s.Switches), maxSwitches)
+	}
+	for i, sw := range s.Switches {
+		if sw.AtSec <= 0 {
+			return fmt.Errorf("scenario: policy switch %d: atSec must be > 0, got %v", i, sw.AtSec)
+		}
+		if sw.AtSec > maxHorizonSec {
+			return fmt.Errorf("scenario: policy switch %d: atSec %vs exceeds cap %ds", i, sw.AtSec, maxHorizonSec)
+		}
+		for _, n := range sw.Nodes {
+			if n < 0 || n >= s.Nodes {
+				return fmt.Errorf("scenario: policy switch %d: node %d out of range", i, n)
+			}
+		}
+		if err := registry.Validate(sw.Kind, sw.Options); err != nil {
+			return fmt.Errorf("scenario: policy switch %d: %w", i, err)
+		}
+	}
 	return nil
 }
 
@@ -268,15 +338,54 @@ func Build(spec *Spec) (*Result, error) {
 	if spec.PCPUsPerNode > 0 {
 		cfg.Node.PCPUs = spec.PCPUsPerNode
 	}
+	if len(spec.Scheduler.Options) > 0 {
+		cfg.Sched.Options = spec.Scheduler.Options
+	}
 	if spec.Scheduler.FixedSliceMs > 0 {
 		cfg.Sched.FixedSlice = sim.FromMillis(spec.Scheduler.FixedSliceMs)
 	}
 	if spec.Scheduler.NonParallelAdminSliceMs > 0 {
 		cfg.NonParallelAdminSlice = sim.FromMillis(spec.Scheduler.NonParallelAdminSliceMs)
 	}
+	if len(spec.NodePolicies) > 0 {
+		cfg.NodePolicies = map[int]cluster.SchedSpec{}
+		for _, np := range spec.NodePolicies {
+			nspec := cluster.SchedSpec{Kind: cluster.Approach(strings.ToUpper(np.Kind))}
+			if len(np.Options) > 0 {
+				nspec.Options = np.Options
+			}
+			for _, n := range np.Nodes {
+				cfg.NodePolicies[n] = nspec
+			}
+		}
+	}
 	s, err := cluster.New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	for i, sw := range spec.Switches {
+		sspec := cluster.SchedSpec{Kind: cluster.Approach(strings.ToUpper(sw.Kind))}
+		if len(sw.Options) > 0 {
+			sspec.Options = sw.Options
+		}
+		f, err := sspec.Factory()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: policy switch %d: %w", i, err)
+		}
+		targets := sw.Nodes
+		if len(targets) == 0 {
+			targets = make([]int, spec.Nodes)
+			for n := range targets {
+				targets[n] = n
+			}
+		}
+		targets = append([]int(nil), targets...)
+		s.World.Eng.Schedule(sim.FromSeconds(sw.AtSec), func() {
+			for _, n := range targets {
+				// Validate ruled out the only error (nil factory).
+				_ = s.World.Node(n).SwapScheduler(f)
+			}
+		})
 	}
 	res := &Result{
 		Scenario: s,

@@ -45,42 +45,42 @@ func (s Signal) String() string {
 type Options struct {
 	// Credit configures the underlying credit core. Credit.TimeSlice is
 	// the default slice DEFAULT in Algorithm 1.
-	Credit credit.Options
+	Credit credit.Options `json:"credit,omitzero"`
 	// Control configures the ATC controller (α, β, threshold, window).
 	// Control.Default is overridden by Credit.TimeSlice for consistency.
-	Control core.Config
+	Control core.Config `json:"control,omitzero"`
 	// AutoDetect classifies VMs as parallel when they show contended
 	// spinlock activity, instead of trusting VM.Class. Mirrors the
 	// paper's future-work direction of less intrusive classification.
-	AutoDetect bool
+	AutoDetect bool `json:"autoDetect,omitzero"`
 	// AutoDetectWindow is how many recent periods with contended spin
 	// activity keep a VM classified as parallel under AutoDetect.
-	AutoDetectWindow int
+	AutoDetectWindow int `json:"autoDetectWindow,omitzero"`
 	// Monitor selects the overhead signal (default: the paper's
-	// intrusive spinlock latency).
-	Monitor Signal
+	// intrusive spinlock latency; 1 selects the scheduling-wait proxy).
+	Monitor Signal `json:"monitor,omitzero"`
 	// NoiseFloor: signal samples at or below this value are treated as
 	// zero by Algorithm 1's recovery branch. The scheduling-wait proxy
 	// needs a nonzero floor because dispatch latency never measures an
 	// exact zero; it defaults to 20 µs when Monitor is SignalSchedWait.
-	NoiseFloor sim.Time
+	NoiseFloor sim.Time `json:"noiseFloor,omitzero"`
 	// AdaptiveNonParallel enables the paper's first future-work item: a
 	// more flexible treatment of non-parallel VMs. A non-parallel VM
 	// whose I/O event rate marks it latency-sensitive is given
 	// NonParallelShort instead of the default slice, improving its
 	// interrupt service without an administrator in the loop. An
 	// explicit AdminSlice still wins.
-	AdaptiveNonParallel bool
+	AdaptiveNonParallel bool `json:"adaptiveNonParallel,omitzero"`
 	// NonParallelShort is the slice for latency-sensitive non-parallel
 	// VMs under AdaptiveNonParallel (default 6 ms, the paper's example
 	// admin setting).
-	NonParallelShort sim.Time
+	NonParallelShort sim.Time `json:"nonParallelShort,omitzero"`
 	// LatencySensitiveRate is the smoothed per-period I/O event rate
 	// above which a non-parallel VM counts as latency-sensitive.
-	LatencySensitiveRate float64
+	LatencySensitiveRate float64 `json:"latencySensitiveRate,omitzero"`
 	// DisableNodeMinimum ablates Algorithm 2: each parallel VM keeps its
 	// own Algorithm-1 slice instead of the node-wide minimum.
-	DisableNodeMinimum bool
+	DisableNodeMinimum bool `json:"disableNodeMinimum,omitzero"`
 }
 
 // DefaultOptions returns the evaluation configuration: stock credit core

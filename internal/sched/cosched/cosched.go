@@ -20,13 +20,13 @@ import (
 // Options configures the CS scheduler.
 type Options struct {
 	// Credit configures the underlying credit core.
-	Credit credit.Options
+	Credit credit.Options `json:"credit,omitzero"`
 	// SpinWaitThreshold marks a VM for co-scheduling when its per-period
 	// average spinlock latency exceeds it.
-	SpinWaitThreshold sim.Time
+	SpinWaitThreshold sim.Time `json:"spinWaitThreshold,omitzero"`
 	// CalmPeriods unmarks a VM after this many consecutive periods below
 	// the threshold.
-	CalmPeriods int
+	CalmPeriods int `json:"calmPeriods,omitzero"`
 }
 
 // DefaultOptions returns the CS configuration used in the evaluation.
@@ -65,6 +65,10 @@ func Factory(opts Options) vmm.SchedulerFactory {
 
 // Name implements vmm.Scheduler.
 func (s *Scheduler) Name() string { return "CS" }
+
+// Options returns the scheduler's configuration (shadowing the embedded
+// credit scheduler's, which only covers the credit core).
+func (s *Scheduler) Options() Options { return s.opts }
 
 // Marked reports whether vm is currently co-scheduled.
 func (s *Scheduler) Marked(vm *vmm.VM) bool {

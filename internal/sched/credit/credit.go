@@ -40,16 +40,18 @@ func (p Priority) String() string {
 	}
 }
 
-// Options configures the credit core.
+// Options configures the credit core. The json tags carry omitzero so
+// the policy registry can overlay partially-specified options on the
+// defaults: zero-valued fields marshal away and inherit.
 type Options struct {
 	// TimeSlice is the slice granted per dispatch (Xen default: 30 ms).
-	TimeSlice sim.Time
+	TimeSlice sim.Time `json:"timeSlice,omitzero"`
 	// DefaultWeight is the proportional-share weight per VM (Xen: 256).
-	DefaultWeight int
+	DefaultWeight int `json:"defaultWeight,omitzero"`
 	// Boost enables wake boosting (on in stock Xen; off for ablation).
-	Boost bool
+	Boost bool `json:"boost,omitzero"`
 	// Steal enables work-conserving stealing from sibling runqueues.
-	Steal bool
+	Steal bool `json:"steal,omitzero"`
 }
 
 // DefaultOptions returns stock Xen Credit parameters.
@@ -60,6 +62,39 @@ func DefaultOptions() Options {
 		Boost:         true,
 		Steal:         true,
 	}
+}
+
+// Validate checks the options for consistency (the constructor panics
+// on the same conditions; Validate lets config-driven callers get an
+// error instead).
+func (o Options) Validate() error {
+	if o.TimeSlice <= 0 {
+		return fmt.Errorf("credit: time slice must be positive, got %v", o.TimeSlice)
+	}
+	if o.DefaultWeight <= 0 {
+		return fmt.Errorf("credit: default weight must be positive, got %d", o.DefaultWeight)
+	}
+	return nil
+}
+
+// ApplyOverrides folds the cross-policy base overrides into the credit
+// options: a nonzero fixedSlice replaces TimeSlice, and the disable
+// flags force Boost/Steal off (never on). Every policy embedding the
+// credit core routes its registry Build through this.
+func (o *Options) ApplyOverrides(fixedSlice sim.Time, disableBoost, disableSteal bool) error {
+	if fixedSlice < 0 {
+		return fmt.Errorf("credit: negative fixed slice %v", fixedSlice)
+	}
+	if fixedSlice != 0 {
+		o.TimeSlice = fixedSlice
+	}
+	if disableBoost {
+		o.Boost = false
+	}
+	if disableSteal {
+		o.Steal = false
+	}
+	return o.Validate()
 }
 
 // VCPUData is the credit state attached to each VCPU via SchedData.

@@ -1,0 +1,22 @@
+package credit
+
+import (
+	"atcsched/internal/sched/registry"
+	"atcsched/internal/vmm"
+)
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Kind:        "CR",
+		Order:       1,
+		Description: "Xen Credit scheduler (baseline): proportional-share credits, BOOST/UNDER/OVER priorities, 30ms slices",
+		Defaults:    func() any { o := DefaultOptions(); return &o },
+		Build: func(opts any, base registry.Base) (vmm.SchedulerFactory, error) {
+			o := *opts.(*Options)
+			if err := o.ApplyOverrides(base.FixedSlice, base.DisableBoost, base.DisableSteal); err != nil {
+				return nil, err
+			}
+			return Factory(o), nil
+		},
+	})
+}

@@ -1,0 +1,26 @@
+package extslice
+
+import (
+	"atcsched/internal/sched/credit"
+	"atcsched/internal/sched/registry"
+	"atcsched/internal/vmm"
+)
+
+// EXT is registered with neither a comparison position nor the extension
+// flag: it is resolvable by name (the control daemon's sim backend swaps
+// nodes onto it) but excluded from the evaluation sweeps, which compare
+// scheduling policies rather than actuation paths.
+func init() {
+	registry.Register(registry.Descriptor{
+		Kind:        "EXT",
+		Description: "externally-controlled credit scheduler: per-VM slices set by a userspace daemon (cmd/atcd)",
+		Defaults:    func() any { o := credit.DefaultOptions(); return &o },
+		Build: func(opts any, base registry.Base) (vmm.SchedulerFactory, error) {
+			o := *opts.(*credit.Options)
+			if err := o.ApplyOverrides(base.FixedSlice, base.DisableBoost, base.DisableSteal); err != nil {
+				return nil, err
+			}
+			return Factory(o), nil
+		},
+	})
+}

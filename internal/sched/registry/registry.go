@@ -1,0 +1,220 @@
+// Package registry is the single authority on scheduling policies: each
+// scheduler package self-registers a Descriptor (kind, description,
+// defaults, options type, factory builder) from an init function, and
+// everything that selects a policy by name — cluster configs, scenario
+// JSON, command-line flags, the control daemon — resolves it here. Adding
+// a policy is therefore implementing vmm.Scheduler plus one Register
+// call; no switch statements elsewhere need editing.
+//
+// Options resolution is a merge: the caller's options (a Go struct of the
+// registered type, by value or pointer, or raw JSON) are overlaid on the
+// policy's defaults field by field, so a caller setting only ATC's α
+// keeps the paper defaults for everything else. The merge goes through
+// encoding/json with omitzero tags, which makes every options type
+// JSON-round-trippable by construction — the same mechanism serves Go
+// callers and scenario files.
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+)
+
+// Base carries the cross-policy overrides every credit-core policy
+// honours. They arrive separately from the policy options because they
+// parameterize ablations and sweeps that apply uniformly across kinds
+// (cluster.SchedSpec.FixedSlice and the Disable toggles).
+type Base struct {
+	// FixedSlice, when nonzero, overrides the policy's base time slice.
+	FixedSlice sim.Time
+	// DisableBoost/DisableSteal force the credit core's wake boost and
+	// runqueue stealing off (they never force them on, so options that
+	// disable them stay disabled).
+	DisableBoost bool
+	DisableSteal bool
+}
+
+// Descriptor registers one scheduling policy.
+type Descriptor struct {
+	// Kind is the canonical upper-case policy name (e.g. "ATC").
+	Kind string
+	// Order places the policy in the paper's comparison sequence
+	// (CR=1 … ATC=6); zero means the policy is not part of the compared
+	// set.
+	Order int
+	// Extension marks baselines this repository adds beyond the paper's
+	// comparison (HY). Policies with Order 0 and Extension false (EXT)
+	// are resolvable but excluded from the evaluation sweeps.
+	Extension bool
+	// Description is a one-line summary for listings.
+	Description string
+	// Defaults returns a pointer to a freshly-populated options struct.
+	// The pointed-to type defines the policy's options schema.
+	Defaults func() any
+	// Build turns merged options (the same pointer type Defaults returns)
+	// and the base overrides into a scheduler factory, validating the
+	// configuration.
+	Build func(opts any, base Base) (vmm.SchedulerFactory, error)
+}
+
+var (
+	mu          sync.RWMutex
+	descriptors = map[string]Descriptor{}
+)
+
+// Register records a policy descriptor. It panics on a duplicate or
+// malformed registration — both are programmer errors caught at init.
+func Register(d Descriptor) {
+	switch {
+	case d.Kind == "" || d.Kind != strings.ToUpper(d.Kind):
+		panic(fmt.Sprintf("registry: kind %q must be non-empty upper-case", d.Kind))
+	case d.Defaults == nil || d.Build == nil:
+		panic("registry: " + d.Kind + ": Defaults and Build are required")
+	case d.Defaults() == nil || reflect.TypeOf(d.Defaults()).Kind() != reflect.Pointer:
+		panic("registry: " + d.Kind + ": Defaults must return a non-nil pointer")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := descriptors[d.Kind]; dup {
+		panic("registry: duplicate kind " + d.Kind)
+	}
+	for _, other := range descriptors {
+		if d.Order != 0 && other.Order == d.Order {
+			panic(fmt.Sprintf("registry: %s and %s both claim comparison position %d", d.Kind, other.Kind, d.Order))
+		}
+	}
+	descriptors[d.Kind] = d
+}
+
+// Lookup returns the descriptor for kind (case-insensitive).
+func Lookup(kind string) (Descriptor, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	d, ok := descriptors[strings.ToUpper(kind)]
+	return d, ok
+}
+
+// Kinds returns every registered kind, sorted.
+func Kinds() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(descriptors))
+	for k := range descriptors {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compared returns the kinds of the paper's comparison set in the
+// paper's order.
+func Compared() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	var ds []Descriptor
+	for _, d := range descriptors {
+		if d.Order > 0 {
+			ds = append(ds, d)
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Order < ds[j].Order })
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Kind
+	}
+	return out
+}
+
+// Extensions returns the extension-baseline kinds, sorted.
+func Extensions() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	var out []string
+	for k, d := range descriptors {
+		if d.Extension {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnknownKindError describes an unregistered kind, enumerating the valid
+// ones so the caller's typo is diagnosable from the message alone.
+func UnknownKindError(kind string) error {
+	return fmt.Errorf("unknown scheduler %q (valid: %s)", kind, strings.Join(Kinds(), ", "))
+}
+
+// Options merges the caller's options over the policy's defaults and
+// returns the result (the pointer type Defaults returns). opts may be
+// nil (pure defaults), raw JSON ([]byte or json.RawMessage, unknown
+// fields rejected), or the registered options struct by value or
+// pointer — in the struct forms, zero-valued fields inherit the
+// defaults.
+func (d Descriptor) Options(opts any) (any, error) {
+	out := d.Defaults()
+	if opts == nil {
+		return out, nil
+	}
+	var raw []byte
+	switch v := opts.(type) {
+	case json.RawMessage:
+		raw = v
+	case []byte:
+		raw = v
+	default:
+		rv := reflect.ValueOf(opts)
+		if rv.Kind() == reflect.Pointer {
+			if rv.IsNil() {
+				return out, nil
+			}
+			rv = rv.Elem()
+		}
+		if want := reflect.TypeOf(out).Elem(); rv.Type() != want {
+			return nil, fmt.Errorf("%s options must be %v or raw JSON, got %T", d.Kind, want, opts)
+		}
+		b, err := json.Marshal(rv.Interface())
+		if err != nil {
+			return nil, fmt.Errorf("%s options: %w", d.Kind, err)
+		}
+		raw = b
+	}
+	if len(raw) == 0 {
+		return out, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		return nil, fmt.Errorf("%s options: %w", d.Kind, err)
+	}
+	return out, nil
+}
+
+// Resolve looks kind up, merges opts over its defaults, and builds the
+// scheduler factory with the base overrides applied.
+func Resolve(kind string, opts any, base Base) (vmm.SchedulerFactory, error) {
+	d, ok := Lookup(kind)
+	if !ok {
+		return nil, UnknownKindError(kind)
+	}
+	merged, err := d.Options(opts)
+	if err != nil {
+		return nil, err
+	}
+	return d.Build(merged, base)
+}
+
+// Validate checks that kind is registered and opts resolve to a buildable
+// configuration, without instantiating a scheduler.
+func Validate(kind string, opts any) error {
+	_, err := Resolve(kind, opts, Base{})
+	return err
+}

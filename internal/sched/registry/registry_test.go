@@ -1,0 +1,149 @@
+package registry_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"atcsched/internal/core"
+	"atcsched/internal/netmodel"
+	"atcsched/internal/sched/atc"
+	"atcsched/internal/sched/cosched"
+	"atcsched/internal/sched/registry"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+
+	_ "atcsched/internal/sched/all"
+)
+
+func TestKindsAndOrdering(t *testing.T) {
+	wantCompared := []string{"CR", "BS", "CS", "DSS", "VS", "ATC"}
+	got := registry.Compared()
+	if len(got) != len(wantCompared) {
+		t.Fatalf("Compared() = %v, want %v", got, wantCompared)
+	}
+	for i := range got {
+		if got[i] != wantCompared[i] {
+			t.Fatalf("Compared() = %v, want %v", got, wantCompared)
+		}
+	}
+	if ext := registry.Extensions(); len(ext) != 1 || ext[0] != "HY" {
+		t.Errorf("Extensions() = %v, want [HY]", ext)
+	}
+	kinds := registry.Kinds()
+	if len(kinds) != 8 {
+		t.Errorf("Kinds() = %v, want all 8 policies", kinds)
+	}
+	for _, k := range []string{"CR", "BS", "CS", "DSS", "VS", "ATC", "HY", "EXT"} {
+		if _, ok := registry.Lookup(k); !ok {
+			t.Errorf("Lookup(%q) failed", k)
+		}
+		if _, ok := registry.Lookup(strings.ToLower(k)); !ok {
+			t.Errorf("Lookup is not case-insensitive for %q", k)
+		}
+	}
+}
+
+func TestUnknownKindEnumeratesValid(t *testing.T) {
+	_, err := registry.Resolve("NOPE", nil, registry.Base{})
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	msg := err.Error()
+	for _, k := range registry.Kinds() {
+		if !strings.Contains(msg, k) {
+			t.Errorf("error %q does not list valid kind %s", msg, k)
+		}
+	}
+}
+
+// TestPartialOptionsMerge pins the fix for the old cluster ATC branch
+// that discarded a user-supplied ATCControl whenever Credit.TimeSlice
+// was zero: setting only Alpha must keep the defaults for everything
+// else, including the default slice.
+func TestPartialOptionsMerge(t *testing.T) {
+	d, _ := registry.Lookup("ATC")
+	merged, err := d.Options(atc.Options{Control: core.Config{Alpha: 9 * sim.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := merged.(*atc.Options)
+	if o.Control.Alpha != 9*sim.Millisecond {
+		t.Errorf("user alpha discarded: %v", o.Control.Alpha)
+	}
+	def := atc.DefaultOptions()
+	if o.Credit.TimeSlice != def.Credit.TimeSlice {
+		t.Errorf("default slice lost: %v", o.Credit.TimeSlice)
+	}
+	if o.Control.Beta != def.Control.Beta || o.Control.Window != def.Control.Window {
+		t.Errorf("control defaults lost: β=%v window=%d", o.Control.Beta, o.Control.Window)
+	}
+	if !o.Credit.Boost || !o.Credit.Steal {
+		t.Errorf("credit defaults lost: boost=%v steal=%v", o.Credit.Boost, o.Credit.Steal)
+	}
+}
+
+func TestJSONOptionsMerge(t *testing.T) {
+	d, _ := registry.Lookup("CS")
+	merged, err := d.Options(json.RawMessage(`{"spinWaitThreshold": "150us"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := merged.(*cosched.Options)
+	if o.SpinWaitThreshold != 150*sim.Microsecond {
+		t.Errorf("threshold = %v, want 150us", o.SpinWaitThreshold)
+	}
+	if o.CalmPeriods != cosched.DefaultOptions().CalmPeriods {
+		t.Errorf("calm periods default lost: %d", o.CalmPeriods)
+	}
+	// Explicit false in JSON overrides a true default.
+	merged, err = d.Options(json.RawMessage(`{"credit": {"boost": false}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.(*cosched.Options).Credit.Boost {
+		t.Error("explicit boost:false ignored")
+	}
+	// Unknown fields are rejected, not ignored.
+	if _, err := d.Options(json.RawMessage(`{"frobnicate": 1}`)); err == nil {
+		t.Error("unknown option field accepted")
+	}
+	// Wrong struct type is rejected.
+	if _, err := d.Options(atc.Options{}); err == nil {
+		t.Error("wrong options type accepted")
+	}
+}
+
+func TestBaseOverrides(t *testing.T) {
+	f, err := registry.Resolve("CR", nil, registry.Base{FixedSlice: 6 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := vmm.MustNewWorld(1, vmm.DefaultNodeConfig(), netmodel.DefaultConfig(), f)
+	vm := w.Node(0).NewVM("x", vmm.ClassNonParallel, 1, 0, 1)
+	if got := w.Node(0).Scheduler().Slice(vm.VCPU(0)); got != 6*sim.Millisecond {
+		t.Errorf("fixed slice not applied: %v", got)
+	}
+	if _, err := registry.Resolve("CR", nil, registry.Base{FixedSlice: -1}); err == nil {
+		t.Error("negative fixed slice accepted")
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	cases := map[string]struct{ kind, opts string }{
+		"negative slice":   {"CR", `{"timeSlice": "-5ms"}`},
+		"alpha below beta": {"ATC", `{"control": {"alpha": "0.1ms"}}`},
+		"bad smoothing":    {"DSS", `{"smoothing": 2}`},
+		"cs threshold":     {"CS", `{"spinWaitThreshold": "-1us"}`},
+	}
+	for name, c := range cases {
+		if err := registry.Validate(c.kind, json.RawMessage(c.opts)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	for _, k := range registry.Kinds() {
+		if err := registry.Validate(k, nil); err != nil {
+			t.Errorf("%s defaults do not validate: %v", k, err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// MarshalJSON renders a Time as a duration string ("30ms", "1.5s"), the
+// form scheduler option files use.
+func (t Time) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(t).String())
+}
+
+// UnmarshalJSON accepts either a duration string ("6ms", "300us") or a
+// bare number of nanoseconds, so hand-written scenario files stay
+// readable while machine-generated ones can stay numeric.
+func (t *Time) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("sim: bad duration %q: %w", s, err)
+		}
+		*t = Time(d)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return fmt.Errorf("sim: time must be a duration string or a nanosecond count: %w", err)
+	}
+	*t = Time(ns)
+	return nil
+}

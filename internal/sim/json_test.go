@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTimeJSONRoundTrip(t *testing.T) {
+	for _, d := range []Time{0, Microsecond, 300 * Microsecond, 30 * Millisecond, Second, -Millisecond} {
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", d, err)
+		}
+		var got Time
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if got != d {
+			t.Errorf("round trip %v -> %s -> %v", d, b, got)
+		}
+	}
+}
+
+func TestTimeUnmarshalForms(t *testing.T) {
+	cases := map[string]Time{
+		`"30ms"`:  30 * Millisecond,
+		`"300us"`: 300 * Microsecond,
+		`"1.5s"`:  1500 * Millisecond,
+		`1000000`: Millisecond,
+		`0`:       0,
+		`"0s"`:    0,
+		`-1000`:   -Microsecond,
+	}
+	for in, want := range cases {
+		var got Time
+		if err := json.Unmarshal([]byte(in), &got); err != nil {
+			t.Errorf("unmarshal %s: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("unmarshal %s = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{`"30 furlongs"`, `"ms"`, `true`, `{"ns":1}`} {
+		var got Time
+		if err := json.Unmarshal([]byte(bad), &got); err == nil {
+			t.Errorf("unmarshal %s accepted as %v", bad, got)
+		}
+	}
+}

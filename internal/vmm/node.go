@@ -99,7 +99,13 @@ type Node struct {
 	dom0    *VM
 	backend *Backend
 
+	// pendingSwap, when non-nil, is a scheduler replacement requested via
+	// SwapScheduler on a started world; it is applied at the next period
+	// boundary so the policy change lines up with an accounting pass.
+	pendingSwap SchedulerFactory
+
 	wakes uint64
+	swaps uint64
 }
 
 // ID returns the node index in the world.
@@ -246,6 +252,65 @@ func (n *Node) kick(v *VCPU) {
 // Wakes returns the number of wake transitions on this node.
 func (n *Node) Wakes() uint64 { return n.wakes }
 
+// Swaps returns the number of scheduler swaps applied on this node.
+func (n *Node) Swaps() uint64 { return n.swaps }
+
+// SwapScheduler replaces the node's scheduling policy with one built by
+// f. Before World.Start the swap happens immediately; on a running world
+// it is deferred to the node's next period boundary, where the old
+// scheduler's runqueue state is discarded and every VCPU is re-registered
+// with the new one (per-VM monitors are scheduler-independent and carry
+// over). VCPUs mid-slice keep running until their slice expires.
+func (n *Node) SwapScheduler(f SchedulerFactory) error {
+	if f == nil {
+		return fmt.Errorf("vmm: nil scheduler factory in swap for node %d", n.id)
+	}
+	if !n.world.started {
+		s := f(n)
+		if s == nil {
+			return fmt.Errorf("vmm: factory returned nil scheduler for node %d", n.id)
+		}
+		n.sched = s
+		return nil
+	}
+	n.pendingSwap = f
+	return nil
+}
+
+// applySwap installs a pending scheduler replacement: builds the new
+// scheduler, re-registers every VCPU from scratch (clearing the old
+// policy's per-VCPU state), re-enqueues the runnable ones, and kicks idle
+// PCPUs so the new policy dispatches right away.
+func (n *Node) applySwap() {
+	f := n.pendingSwap
+	n.pendingSwap = nil
+	s := f(n)
+	if s == nil {
+		panic(fmt.Sprintf("vmm: factory returned nil scheduler in swap for node %d", n.id))
+	}
+	n.sched = s
+	for _, vm := range append([]*VM{n.dom0}, n.vms...) {
+		for _, v := range vm.vcpus {
+			v.SchedData = nil
+			s.Register(v)
+		}
+	}
+	for _, vm := range append([]*VM{n.dom0}, n.vms...) {
+		for _, v := range vm.vcpus {
+			if v.state == StateRunnable {
+				s.Enqueue(v, EnqueueNew)
+			}
+		}
+	}
+	n.swaps++
+	n.trace(TraceSwap, -1, nil, 0)
+	for _, p := range n.pcpus {
+		if p.cur == nil {
+			p.scheduleDispatch()
+		}
+	}
+}
+
 // CtxSwitches sums context switches across the node's PCPUs.
 func (n *Node) CtxSwitches() uint64 {
 	var c uint64
@@ -291,6 +356,9 @@ func (n *Node) start() {
 		n.eng.Schedule(n.cfg.TickInterval, tick)
 	}
 	period = func() {
+		if n.pendingSwap != nil {
+			n.applySwap()
+		}
 		n.sched.OnPeriod(n)
 		n.eng.Schedule(n.cfg.SchedPeriod, period)
 	}

@@ -9,7 +9,7 @@ import (
 // Probe: one busy VCPU on a 2-PCPU node with idle sibling; does the
 // slice-end preempt nudge cause per-slice migration?
 func TestProbeSoloVCPUMigration(t *testing.T) {
-	w := newTestWorld(t, 1, 2)
+	w := testWorld(t, 1, 2, 30*sim.Millisecond)
 	n := w.Node(0)
 	vm := n.NewVM("solo", ClassNonParallel, 1, 0, 1)
 	vm.VCPU(0).SetProcess(&seqProc{actions: []Action{Compute(sim.Second)}}, nil)

@@ -23,6 +23,9 @@ const (
 	TraceWake
 	// TraceSliceChange: a scheduler changed a VM's slice (ATC/DSS).
 	TraceSliceChange
+	// TraceSwap: the node's scheduling policy was replaced at a period
+	// boundary (Node.SwapScheduler).
+	TraceSwap
 )
 
 // String returns the record kind name.
@@ -38,6 +41,8 @@ func (k TraceKind) String() string {
 		return "wake"
 	case TraceSliceChange:
 		return "slice"
+	case TraceSwap:
+		return "swap"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", int(k))
 	}

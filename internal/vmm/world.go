@@ -34,14 +34,24 @@ func (w *World) Tracer() *Tracer { return w.tracer }
 // NewWorld builds nNodes identical nodes, each with its own scheduler
 // instance produced by factory.
 func NewWorld(nNodes int, ncfg NodeConfig, netCfg netmodel.Config, factory SchedulerFactory) (*World, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("vmm: nil scheduler factory")
+	}
+	return NewHeteroWorld(nNodes, ncfg, netCfg, func(int) SchedulerFactory { return factory })
+}
+
+// NewHeteroWorld builds nNodes nodes whose schedulers may differ:
+// factoryFor(i) supplies the factory for node i, so a cluster can run
+// one policy on most nodes and another on the rest.
+func NewHeteroWorld(nNodes int, ncfg NodeConfig, netCfg netmodel.Config, factoryFor func(node int) SchedulerFactory) (*World, error) {
 	if nNodes <= 0 {
 		return nil, fmt.Errorf("vmm: need at least one node, got %d", nNodes)
 	}
 	if err := ncfg.validate(); err != nil {
 		return nil, err
 	}
-	if factory == nil {
-		return nil, fmt.Errorf("vmm: nil scheduler factory")
+	if factoryFor == nil {
+		return nil, fmt.Errorf("vmm: nil scheduler factory function")
 	}
 	eng := sim.New()
 	w := &World{
@@ -62,6 +72,10 @@ func NewWorld(nNodes int, ncfg NodeConfig, netCfg netmodel.Config, factory Sched
 		}
 		n.backend = &Backend{node: n, disk: diskmodel.New(eng, ncfg.Disk)}
 		n.dom0 = n.newVM(fmt.Sprintf("dom0-%d", i), ClassDom0, ncfg.Dom0VCPUs, ncfg.Dom0Footprint, ncfg.Dom0ColdRate)
+		factory := factoryFor(i)
+		if factory == nil {
+			return nil, fmt.Errorf("vmm: nil scheduler factory for node %d", i)
+		}
 		n.sched = factory(n)
 		if n.sched == nil {
 			return nil, fmt.Errorf("vmm: factory returned nil scheduler for node %d", i)
