@@ -7,6 +7,7 @@ package cluster
 import (
 	"fmt"
 
+	"atcsched/internal/fault"
 	"atcsched/internal/netmodel"
 	"atcsched/internal/sched/registry"
 	"atcsched/internal/sim"
@@ -112,6 +113,11 @@ type Config struct {
 	// point: the virtual time and the violation list (empty when
 	// healthy).
 	OnAudit func(at sim.Time, errs []error)
+	// Faults, when non-nil, attaches a deterministic fault-injection
+	// plan (internal/fault) to the world: straggler windows, packet
+	// loss, bandwidth degradation and monitor faults, seeded from
+	// Faults.Seed (or Seed when unset).
+	Faults *fault.Spec
 }
 
 // DefaultConfig returns a paper-testbed-like configuration for the given
@@ -135,6 +141,7 @@ type Scenario struct {
 	pending    int
 	nextVC     int
 	auditViols []error
+	faults     *fault.Plan
 }
 
 // New builds the world for cfg.
@@ -163,8 +170,26 @@ func New(cfg Config) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Scenario{Cfg: cfg, World: w}, nil
+	s := &Scenario{Cfg: cfg, World: w}
+	if cfg.Faults != nil {
+		plan, err := fault.Compile(cfg.Faults, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		if err := plan.Attach(w); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		s.faults = plan
+	}
+	return s, nil
 }
+
+// FaultReport returns the attached fault plan's injection tallies (zero
+// when no faults were configured).
+func (s *Scenario) FaultReport() fault.Report { return s.faults.Report() }
+
+// FaultPlan returns the compiled fault plan (nil without faults).
+func (s *Scenario) FaultPlan() *fault.Plan { return s.faults }
 
 // MustNew is New that panics on error.
 func MustNew(cfg Config) *Scenario {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"atcsched/internal/core"
 	"atcsched/internal/sim"
@@ -29,6 +30,12 @@ type VMSample struct {
 	Parallel bool
 	// AdminSlice, when nonzero, pins a non-parallel VM's slice.
 	AdminSlice sim.Time
+	// Seq, when nonzero, is the monitor's sample sequence number for
+	// this VM; a repeated Seq marks the reading as stale and the daemon
+	// skips it rather than feeding old data to the controller. Zero
+	// means the source does not track sequences (every sample is taken
+	// as fresh — the pre-fault-plane behaviour).
+	Seq uint64
 }
 
 // Source provides per-period latency samples (e.g., parsed from a guest
@@ -44,44 +51,177 @@ type Actuator interface {
 	Apply(slices map[int]sim.Time) error
 }
 
+// Options harden the control loop against a faulty environment.
+type Options struct {
+	// MaxRetries bounds the re-attempts after a failed Apply within one
+	// period (default 3; each retry doubles the backoff). When all
+	// attempts fail the period is dropped: no state is committed and
+	// the loop moves on to the next sample.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry (default 10 ms,
+	// doubling per retry).
+	RetryBackoff time.Duration
+	// Sleep performs the backoff wait (default time.Sleep; tests inject
+	// a recorder). The wait is wall-clock — actuator recovery is a
+	// property of the real platform, not of virtual time.
+	Sleep func(time.Duration)
+	// GiveUpAfter is the number of consecutive dropped periods after
+	// which the loop gives up with a terminal error (default 5).
+	GiveUpAfter int
+	// StaleAfter is the number of consecutive periods a VM's sample may
+	// be stale or missing before the daemon stops holding its last
+	// slice and starts degrading it toward the default (default 2).
+	StaleAfter int
+}
+
+// DefaultOptions returns the hardened-loop defaults.
+func DefaultOptions() Options {
+	return Options{
+		MaxRetries:   3,
+		RetryBackoff: 10 * time.Millisecond,
+		Sleep:        time.Sleep,
+		GiveUpAfter:  5,
+		StaleAfter:   2,
+	}
+}
+
+// Option customizes a Daemon at construction.
+type Option func(*Options)
+
+// WithRetry sets the per-period retry budget and initial backoff.
+func WithRetry(max int, backoff time.Duration) Option {
+	return func(o *Options) { o.MaxRetries, o.RetryBackoff = max, backoff }
+}
+
+// WithSleep replaces the backoff wait (tests).
+func WithSleep(fn func(time.Duration)) Option {
+	return func(o *Options) { o.Sleep = fn }
+}
+
+// WithGiveUpAfter sets the consecutive-dropped-period limit.
+func WithGiveUpAfter(n int) Option {
+	return func(o *Options) { o.GiveUpAfter = n }
+}
+
+// WithStaleAfter sets the blackout threshold before degradation.
+func WithStaleAfter(n int) Option {
+	return func(o *Options) { o.StaleAfter = n }
+}
+
+// Stats counts the hardened loop's fault handling.
+type Stats struct {
+	// Retries counts Apply re-attempts (not first attempts).
+	Retries uint64
+	// DroppedPeriods counts periods whose actuation never landed; their
+	// decisions were discarded and no state was committed.
+	DroppedPeriods uint64
+	// StaleSamples counts samples skipped because their sequence number
+	// did not advance.
+	StaleSamples uint64
+	// Degraded counts per-VM period decisions where a monitoring
+	// blackout moved a parallel VM's slice toward the default instead
+	// of acting on stale data.
+	Degraded uint64
+}
+
+// vmMeta is the classification the daemon remembers for VMs it has
+// seen, so it can keep deciding for them through a monitoring blackout.
+type vmMeta struct {
+	parallel bool
+	admin    sim.Time
+}
+
 // Daemon wires a Source and an Actuator to the ATC controller.
 type Daemon struct {
 	ctl  *core.Controller
 	src  Source
 	act  Actuator
+	opts Options
 	last map[int]sim.Time
 
+	// lastSeq/staleRuns/known implement stale detection and blackout
+	// degradation; consecDrops drives the give-up policy.
+	lastSeq     map[int]uint64
+	staleRuns   map[int]int
+	known       map[int]vmMeta
+	consecDrops int
+
 	periods uint64
+	stats   Stats
 }
 
 // New builds a daemon; cfg zero-value panics (use core.DefaultConfig()).
-func New(cfg core.Config, src Source, act Actuator) *Daemon {
+// Options default to DefaultOptions.
+func New(cfg core.Config, src Source, act Actuator, opts ...Option) *Daemon {
 	if src == nil || act == nil {
 		panic("daemon: nil source or actuator")
 	}
+	o := DefaultOptions()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.GiveUpAfter < 1 {
+		o.GiveUpAfter = 1
+	}
+	if o.StaleAfter < 1 {
+		o.StaleAfter = 1
+	}
 	return &Daemon{
-		ctl:  core.NewController(cfg),
-		src:  src,
-		act:  act,
-		last: make(map[int]sim.Time),
+		ctl:       core.NewController(cfg),
+		src:       src,
+		act:       act,
+		opts:      o,
+		last:      make(map[int]sim.Time),
+		lastSeq:   make(map[int]uint64),
+		staleRuns: make(map[int]int),
+		known:     make(map[int]vmMeta),
 	}
 }
 
 // Controller exposes the underlying controller (diagnostics).
 func (d *Daemon) Controller() *core.Controller { return d.ctl }
 
-// Periods returns how many control periods have executed.
+// Periods returns how many control periods have committed (a dropped
+// period does not count — its decisions never took effect).
 func (d *Daemon) Periods() uint64 { return d.periods }
 
+// Stats returns the fault-handling counters.
+func (d *Daemon) Stats() Stats { return d.stats }
+
 // Step executes one control period: sample, observe, decide, actuate.
-// It returns io.EOF when the source is exhausted.
+// It returns io.EOF when the source is exhausted. Controller history
+// (`last`, `periods`) is committed only after the actuation succeeds,
+// so a failed Apply can never record a slice that never took effect. A
+// period whose actuation fails through all retries is dropped (nil
+// error — the loop continues) unless GiveUpAfter consecutive periods
+// have dropped, which is terminal.
 func (d *Daemon) Step() error {
 	samples, err := d.src.Sample()
 	if err != nil {
 		return err
 	}
+	seen := make(map[int]bool, len(samples))
 	infos := make([]core.VMInfo, 0, len(samples))
 	for _, s := range samples {
+		seen[s.ID] = true
+		if _, ok := d.known[s.ID]; !ok {
+			d.known[s.ID] = vmMeta{parallel: s.Parallel, admin: s.AdminSlice}
+		}
+		if s.Seq != 0 && s.Seq <= d.lastSeq[s.ID] {
+			// The monitor is repeating itself; skip the observation
+			// rather than feeding old data back into the controller.
+			d.stats.StaleSamples++
+			d.staleRuns[s.ID]++
+			continue
+		}
+		if s.Seq != 0 {
+			d.lastSeq[s.ID] = s.Seq
+		}
+		d.staleRuns[s.ID] = 0
+		d.known[s.ID] = vmMeta{parallel: s.Parallel, admin: s.AdminSlice}
 		inForce, ok := d.last[s.ID]
 		if !ok {
 			inForce = d.ctl.Config().Default
@@ -89,15 +229,116 @@ func (d *Daemon) Step() error {
 		d.ctl.Observe(s.ID, s.AvgSpinLatency, inForce)
 		infos = append(infos, core.VMInfo{ID: s.ID, Parallel: s.Parallel, AdminSlice: s.AdminSlice})
 	}
+	// A known VM missing from the sample set entirely is a dropout —
+	// the other face of a monitoring blackout.
+	for id := range d.known {
+		if !seen[id] {
+			d.staleRuns[id]++
+		}
+	}
 	slices := d.ctl.NodeSlices(infos)
+	d.degradeBlackedOut(slices)
+	committed, err := d.applyWithRetry(slices)
+	if err != nil {
+		return err
+	}
+	if !committed {
+		return nil // period dropped; no state committed
+	}
 	for id, sl := range slices {
 		d.last[id] = sl
 	}
 	d.periods++
-	return d.act.Apply(slices)
+	return nil
 }
 
-// Run executes Step until the source returns io.EOF or a step fails.
+// degradeBlackedOut overrides the decisions for VMs whose monitoring is
+// stale or missing: hold the last applied slice for the first
+// StaleAfter-1 blacked-out periods, then walk a parallel VM's slice
+// toward the controller default by Alpha per period — the same fallback
+// the paper applies to VMs it cannot adapt. Non-parallel VMs revert to
+// their admin slice (or the default) immediately at the threshold.
+func (d *Daemon) degradeBlackedOut(slices map[int]sim.Time) {
+	def := d.ctl.Config().Default
+	step := d.ctl.Config().Alpha
+	for id, runs := range d.staleRuns {
+		if runs == 0 {
+			continue
+		}
+		cur, ok := d.last[id]
+		if !ok {
+			cur = def
+		}
+		meta := d.known[id]
+		switch {
+		case runs < d.opts.StaleAfter:
+			slices[id] = cur
+		case !meta.parallel:
+			if meta.admin > 0 {
+				slices[id] = meta.admin
+			} else {
+				slices[id] = def
+			}
+		default:
+			next := stepToward(cur, def, step)
+			if next != cur {
+				d.stats.Degraded++
+			}
+			slices[id] = next
+		}
+	}
+}
+
+// stepToward moves cur toward target by at most step.
+func stepToward(cur, target, step sim.Time) sim.Time {
+	switch {
+	case cur < target:
+		if cur+step >= target {
+			return target
+		}
+		return cur + step
+	case cur > target:
+		if cur-step <= target {
+			return target
+		}
+		return cur - step
+	}
+	return cur
+}
+
+// applyWithRetry drives one period's actuation through the retry
+// policy. It returns (true, nil) when the slices landed, (false, nil)
+// when the period was dropped after exhausting retries, and a terminal
+// error after GiveUpAfter consecutive dropped periods.
+func (d *Daemon) applyWithRetry(slices map[int]sim.Time) (bool, error) {
+	backoff := d.opts.RetryBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = d.act.Apply(slices); err == nil {
+			d.consecDrops = 0
+			return true, nil
+		}
+		if attempt >= d.opts.MaxRetries {
+			break
+		}
+		d.stats.Retries++
+		if d.opts.Sleep != nil && backoff > 0 {
+			d.opts.Sleep(backoff)
+		}
+		backoff *= 2
+	}
+	d.stats.DroppedPeriods++
+	d.consecDrops++
+	if d.consecDrops >= d.opts.GiveUpAfter {
+		return false, fmt.Errorf("daemon: giving up after %d consecutive dropped periods (%d attempts each): %w",
+			d.consecDrops, d.opts.MaxRetries+1, err)
+	}
+	return false, nil
+}
+
+// Run executes Step until the source returns io.EOF (clean end) or a
+// step fails terminally. Transient actuator failures are absorbed by
+// Step's retry/drop policy and do not end the loop.
 func (d *Daemon) Run() error {
 	for {
 		if err := d.Step(); err != nil {

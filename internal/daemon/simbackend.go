@@ -3,6 +3,7 @@ package daemon
 import (
 	"fmt"
 
+	"atcsched/internal/fault"
 	"atcsched/internal/netmodel"
 	"atcsched/internal/sched/credit"
 	"atcsched/internal/sched/extslice"
@@ -31,6 +32,7 @@ type SimBackend struct {
 	periods    int
 	runs       []*workload.ParallelRun
 	switches   []PolicySwitch
+	plan       *fault.Plan
 }
 
 // SimBackendConfig sizes the embedded scenario.
@@ -51,6 +53,11 @@ type SimBackendConfig struct {
 	// switched away from EXT stops accepting the daemon's slices (Apply
 	// skips it) until a later switch brings EXT back.
 	Switches []PolicySwitch
+	// Faults, when non-nil, attaches a deterministic fault-injection
+	// plan (internal/fault) to the embedded cluster: stragglers, packet
+	// loss, monitor faults, and actuation failures the daemon's
+	// hardened loop must ride out.
+	Faults *fault.Spec
 }
 
 // PolicySwitch flips a node's scheduling policy at a control period.
@@ -102,6 +109,16 @@ func NewSimBackend(cfg SimBackendConfig) (*SimBackend, error) {
 		}
 	}
 	b := &SimBackend{World: w, period: ncfg.SchedPeriod, MaxPeriods: cfg.MaxPeriods, switches: cfg.Switches}
+	if cfg.Faults != nil {
+		plan, err := fault.Compile(cfg.Faults, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("sim backend: %w", err)
+		}
+		if err := plan.Attach(w); err != nil {
+			return nil, fmt.Errorf("sim backend: %w", err)
+		}
+		b.plan = plan
+	}
 	prof := workload.NPB(cfg.Kernel, cfg.Class)
 	for vc := 0; vc < cfg.Clusters; vc++ {
 		var vms []*vmm.VM
@@ -147,15 +164,24 @@ func (b *SimBackend) Sample() ([]VMSample, error) {
 	b.World.RunUntil(b.World.Eng.Now() + b.period)
 	var out []VMSample
 	for _, vm := range b.World.GuestVMs() {
+		avg, seq, ok := vm.SampleSpinPeriod()
+		if !ok {
+			continue // monitoring dropout: this VM reports nothing this period
+		}
 		out = append(out, VMSample{
 			ID:             vm.ID(),
-			AvgSpinLatency: vm.SpinMon.SamplePeriod(),
+			AvgSpinLatency: avg,
 			Parallel:       vm.Class() == vmm.ClassParallel,
 			AdminSlice:     vm.AdminSlice,
+			Seq:            seq,
 		})
 	}
 	return out, nil
 }
+
+// FaultReport returns the attached fault plan's injection tallies (zero
+// when no faults were configured).
+func (b *SimBackend) FaultReport() fault.Report { return b.plan.Report() }
 
 // applySwitches requests the policy switches due at the current control
 // period; each lands on its node's next scheduling-period boundary.
@@ -185,6 +211,9 @@ func (b *SimBackend) applySwitches() error {
 // self-adapting policy (via PolicySwitch) own their slices and are
 // skipped.
 func (b *SimBackend) Apply(slices map[int]sim.Time) error {
+	if err := b.plan.FailActuation(b.World.Eng.Now()); err != nil {
+		return err
+	}
 	for _, n := range b.World.Nodes() {
 		sched, ok := n.Scheduler().(*extslice.Scheduler)
 		if !ok {

@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"fmt"
+
+	"atcsched/internal/rng"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+)
+
+// faultStream is the rng stream id reserved for the fault plane, so its
+// draws are independent of the workload generators sharing the same
+// experiment seed.
+const faultStream = 0xfa017
+
+// Plan is a Spec compiled against a seed: the live fault plane. Attach
+// installs its hooks on a world; the plan then drives every injection
+// from the world's virtual clock and its own rng stream, and tallies
+// what it did in a Report.
+type Plan struct {
+	seed    uint64
+	windows []window
+	src     *rng.Source
+	rep     Report
+}
+
+// Report tallies the injections a plan performed. All counters advance
+// on virtual-time-driven events only, so identical runs produce
+// identical reports.
+type Report struct {
+	// PacketsLost counts wire transmissions the loss hook discarded
+	// (each is retransmitted by the fabric after its timeout).
+	PacketsLost uint64
+	// SamplesDropped/SamplesStaled/SamplesNoised count monitor-path
+	// injections.
+	SamplesDropped uint64
+	SamplesStaled  uint64
+	SamplesNoised  uint64
+	// ActuationsFailed counts slice applications the plan rejected.
+	ActuationsFailed uint64
+}
+
+// String renders the report deterministically (the second half of the
+// byte-identical determinism contract).
+func (r Report) String() string {
+	return fmt.Sprintf("faults: lost=%d dropped=%d staled=%d noised=%d actfail=%d",
+		r.PacketsLost, r.SamplesDropped, r.SamplesStaled, r.SamplesNoised, r.ActuationsFailed)
+}
+
+// Compile validates the spec and binds it to a seed. fallbackSeed is
+// used when the spec does not pin its own Seed — pass the run's cluster
+// seed so fault draws stay reproducible per run without extra knobs.
+func Compile(spec *Spec, fallbackSeed uint64) (*Plan, error) {
+	if spec == nil {
+		return nil, nil
+	}
+	if err := spec.Validate(0); err != nil {
+		return nil, err
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = fallbackSeed
+	}
+	p := &Plan{seed: seed, src: rng.NewStream(seed, faultStream)}
+	for _, w := range spec.Windows {
+		p.windows = append(p.windows, compileWindow(w))
+	}
+	return p, nil
+}
+
+// Attach installs the plan's hooks on w. Only the hooks a window
+// actually needs are installed, so a plan with (say) only monitor
+// faults leaves the compute and network paths untouched. It validates
+// node scopes against the world's size.
+func (p *Plan) Attach(w *vmm.World) error {
+	if p == nil {
+		return nil
+	}
+	var slow, net, bw, mon bool
+	nodes := w.Fabric.Nodes()
+	for _, win := range p.windows {
+		for n := range win.nodes {
+			if n >= nodes {
+				return fmt.Errorf("fault: window scopes node %d but world has %d nodes", n, nodes)
+			}
+		}
+		switch win.kind {
+		case PCPUSlow, PCPUFreeze:
+			slow = true
+		case PacketLoss:
+			net = true
+		case Bandwidth:
+			bw = true
+		case MonitorDrop, MonitorNoise, MonitorStale:
+			mon = true
+		}
+	}
+	if slow {
+		w.SetSlowdown(p.slowdown)
+	}
+	if net {
+		w.Fabric.SetLoss(p.lose)
+	}
+	if bw {
+		w.Fabric.SetBandwidth(p.bandwidth)
+	}
+	if mon {
+		w.SetMonitorTap(p.monitorTap)
+	}
+	return nil
+}
+
+// Report returns a snapshot of the injection tallies.
+func (p *Plan) Report() Report {
+	if p == nil {
+		return Report{}
+	}
+	return p.rep
+}
+
+// slowdown is the vmm compute-path hook: the strongest slow/freeze
+// factor covering the node right now (1 = full speed).
+func (p *Plan) slowdown(node int, now sim.Time) float64 {
+	f := 1.0
+	for i := range p.windows {
+		w := &p.windows[i]
+		if (w.kind == PCPUSlow || w.kind == PCPUFreeze) && w.active(now) && w.onNode(node) && w.severity > f {
+			f = w.severity
+		}
+	}
+	return f
+}
+
+// lose is the fabric's loss hook: drop a transmission leaving src with
+// the strongest active loss probability.
+func (p *Plan) lose(src, dst int, now sim.Time) bool {
+	prob := 0.0
+	for i := range p.windows {
+		w := &p.windows[i]
+		if w.kind == PacketLoss && w.active(now) && w.onNode(src) && w.severity > prob {
+			prob = w.severity
+		}
+	}
+	if prob <= 0 || p.src.Float64() >= prob {
+		return false
+	}
+	p.rep.PacketsLost++
+	return true
+}
+
+// bandwidth is the fabric's line-rate hook: the tightest remaining
+// fraction covering the node (1 = full rate).
+func (p *Plan) bandwidth(node int, now sim.Time) float64 {
+	f := 1.0
+	for i := range p.windows {
+		w := &p.windows[i]
+		if w.kind == Bandwidth && w.active(now) && w.onNode(node) && w.severity < f {
+			f = w.severity
+		}
+	}
+	return f
+}
+
+// monitorTap sits between the spin monitor and its consumers: per
+// sample it may drop the reading, re-serve the previous one, or add
+// noise. Drop wins over stale wins over noise when windows overlap.
+func (p *Plan) monitorTap(vm *vmm.VM) vmm.MonitorVerdict {
+	now := vm.Node().Engine().Now()
+	var v vmm.MonitorVerdict
+	for i := range p.windows {
+		w := &p.windows[i]
+		if !w.active(now) || !w.onVM(vm.ID()) {
+			continue
+		}
+		switch w.kind {
+		case MonitorDrop:
+			if !v.Drop && p.src.Float64() < w.severity {
+				v.Drop = true
+			}
+		case MonitorStale:
+			if !v.Stale && p.src.Float64() < w.severity {
+				v.Stale = true
+			}
+		case MonitorNoise:
+			v.Noise += sim.Time(p.src.Float64() * w.severity * float64(sim.Millisecond))
+		}
+	}
+	switch {
+	case v.Drop:
+		p.rep.SamplesDropped++
+	case v.Stale:
+		p.rep.SamplesStaled++
+	case v.Noise != 0:
+		p.rep.SamplesNoised++
+	}
+	return v
+}
+
+// FailActuation reports whether a slice application at virtual time now
+// should fail, per the active actuator-fail windows.
+func (p *Plan) FailActuation(now sim.Time) error {
+	if p == nil {
+		return nil
+	}
+	prob := 0.0
+	for i := range p.windows {
+		w := &p.windows[i]
+		if w.kind == ActuatorFail && w.active(now) && w.severity > prob {
+			prob = w.severity
+		}
+	}
+	if prob <= 0 || p.src.Float64() >= prob {
+		return nil
+	}
+	p.rep.ActuationsFailed++
+	return fmt.Errorf("fault: injected actuation failure at %v", now)
+}

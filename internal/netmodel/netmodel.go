@@ -20,6 +20,15 @@ type Config struct {
 	WireLatency sim.Time
 	// LocalLatency is the node-local loopback latency (shared memory copy).
 	LocalLatency sim.Time
+	// LocalBytesPerSec, when nonzero, serializes node-local deliveries
+	// through a per-node loopback at this rate. Zero keeps the
+	// historical behaviour — local sends pace only on LocalLatency (a
+	// shared-memory copy, not the NIC) — but the bytes are still
+	// tallied in LocalBytes so the bypass is visible, not silent.
+	LocalBytesPerSec float64
+	// RetransmitTimeout is the delay before a transmission discarded by
+	// the loss hook is retried (default 1 ms — a transport-level RTO).
+	RetransmitTimeout sim.Time
 }
 
 // DefaultConfig matches the paper's testbed network: 1 Gbps Ethernet.
@@ -33,13 +42,26 @@ func DefaultConfig() Config {
 
 // Fabric is the cluster interconnect.
 type Fabric struct {
-	eng       *sim.Engine
-	cfg       Config
-	tx        []sim.Time // per-node NIC transmit-free time
-	rx        []sim.Time // per-node NIC receive-free time
-	sent      uint64
-	delivered uint64
-	wire      uint64 // bytes that crossed the wire
+	eng        *sim.Engine
+	cfg        Config
+	tx         []sim.Time // per-node NIC transmit-free time
+	rx         []sim.Time // per-node NIC receive-free time
+	lo         []sim.Time // per-node loopback-free time (LocalBytesPerSec)
+	sent       uint64
+	delivered  uint64
+	wire       uint64 // bytes that crossed the wire
+	localBytes uint64 // bytes delivered node-locally (loopback)
+	lost       uint64 // transmissions discarded by the loss hook
+	retx       uint64 // retransmissions performed after losses
+
+	// lossFn, when set, is consulted once per wire transmission attempt;
+	// returning true discards the attempt (it is retried after
+	// RetransmitTimeout). bwFn, when set, scales a node's NIC line rate
+	// by the returned fraction in (0,1]; values outside that range mean
+	// full rate. Both must be deterministic in their arguments plus any
+	// explicitly seeded state (see internal/fault).
+	lossFn func(src, dst int, now sim.Time) bool
+	bwFn   func(node int, now sim.Time) float64
 }
 
 // New creates a fabric connecting `nodes` nodes.
@@ -55,8 +77,16 @@ func New(eng *sim.Engine, nodes int, cfg Config) *Fabric {
 		cfg: cfg,
 		tx:  make([]sim.Time, nodes),
 		rx:  make([]sim.Time, nodes),
+		lo:  make([]sim.Time, nodes),
 	}
 }
+
+// SetLoss installs (or, with nil, removes) the packet-loss hook.
+func (f *Fabric) SetLoss(fn func(src, dst int, now sim.Time) bool) { f.lossFn = fn }
+
+// SetBandwidth installs (or, with nil, removes) the line-rate
+// degradation hook.
+func (f *Fabric) SetBandwidth(fn func(node int, now sim.Time) float64) { f.bwFn = fn }
 
 // Nodes returns the number of nodes the fabric connects.
 func (f *Fabric) Nodes() int { return len(f.tx) }
@@ -74,9 +104,20 @@ func (f *Fabric) InFlight() uint64 { return f.sent - f.delivered }
 // traffic excluded).
 func (f *Fabric) WireBytes() uint64 { return f.wire }
 
+// LocalBytes returns the bytes delivered node-locally over the loopback
+// path (never on the wire).
+func (f *Fabric) LocalBytes() uint64 { return f.localBytes }
+
+// PacketsLost returns the transmissions discarded by the loss hook.
+func (f *Fabric) PacketsLost() uint64 { return f.lost }
+
+// Retransmits returns the retransmissions performed after losses.
+func (f *Fabric) Retransmits() uint64 { return f.retx }
+
 // Send transmits size bytes from node src to node dst, invoking deliver
-// when the last byte arrives at dst's NIC. Node-local sends complete
-// after LocalLatency without using the wire.
+// when the last byte arrives at dst's NIC. Node-local sends take the
+// loopback path: LocalLatency, plus loopback serialization when
+// LocalBytesPerSec is configured.
 func (f *Fabric) Send(src, dst, size int, deliver func()) {
 	if src < 0 || src >= len(f.tx) || dst < 0 || dst >= len(f.tx) {
 		panic(fmt.Sprintf("netmodel: node out of range src=%d dst=%d nodes=%d", src, dst, len(f.tx)))
@@ -91,22 +132,69 @@ func (f *Fabric) Send(src, dst, size int, deliver func()) {
 	}
 	now := f.eng.Now()
 	if src == dst {
-		f.eng.At(now+f.cfg.LocalLatency, wrapped)
+		f.localBytes += uint64(size)
+		at := now + f.cfg.LocalLatency
+		if f.cfg.LocalBytesPerSec > 0 {
+			start := now
+			if f.lo[src] > start {
+				start = f.lo[src]
+			}
+			done := start + sim.Time(float64(size)/f.cfg.LocalBytesPerSec*float64(sim.Second))
+			f.lo[src] = done
+			at = done + f.cfg.LocalLatency
+		}
+		f.eng.At(at, wrapped)
 		return
 	}
+	f.transmit(src, dst, size, wrapped)
+}
+
+// transmit books one wire attempt. A lost attempt is retried after
+// RetransmitTimeout — link/transport recovery below the guest: the
+// guest's send completes once, delivery just arrives late, so the
+// packet-conservation invariant holds under loss.
+func (f *Fabric) transmit(src, dst, size int, wrapped func()) {
+	now := f.eng.Now()
 	f.wire += uint64(size)
-	serial := sim.Time(float64(size) / f.cfg.BytesPerSec * float64(sim.Second))
 	start := now
 	if f.tx[src] > start {
 		start = f.tx[src]
 	}
-	txDone := start + serial
+	txDone := start + f.serialTime(size, src, now)
 	f.tx[src] = txDone
-	arrive := txDone + f.cfg.WireLatency
-	if f.rx[dst] > arrive {
-		arrive = f.rx[dst]
+	if f.lossFn != nil && f.lossFn(src, dst, now) {
+		f.lost++
+		rto := f.cfg.RetransmitTimeout
+		if rto <= 0 {
+			rto = sim.Millisecond
+		}
+		f.eng.At(txDone+rto, func() {
+			f.retx++
+			f.transmit(src, dst, size, wrapped)
+		})
+		return
 	}
-	rxDone := arrive // receiver-side serialization is already covered by txDone pacing
-	f.rx[dst] = rxDone + serial/2
+	// Receiver-side serialization: the packet occupies dst's NIC for its
+	// own serialization time. An idle receiver sees the pipelined
+	// arrival (last byte lands WireLatency after it left the sender),
+	// but N senders converging on one NIC drain at line rate, not N×it.
+	arrive := txDone + f.cfg.WireLatency
+	rxDone := arrive
+	if t := f.rx[dst] + f.serialTime(size, dst, now); t > rxDone {
+		rxDone = t
+	}
+	f.rx[dst] = rxDone
 	f.eng.At(rxDone, wrapped)
+}
+
+// serialTime returns the serialization time of size bytes on node's
+// NIC, honouring the bandwidth-degradation hook.
+func (f *Fabric) serialTime(size, node int, now sim.Time) sim.Time {
+	bw := f.cfg.BytesPerSec
+	if f.bwFn != nil {
+		if frac := f.bwFn(node, now); frac > 0 && frac < 1 {
+			bw *= frac
+		}
+	}
+	return sim.Time(float64(size) / bw * float64(sim.Second))
 }

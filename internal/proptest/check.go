@@ -62,6 +62,7 @@ func runOne(spec Spec, approach cluster.Approach, traced bool) (*result, error) 
 	}
 	cfg.Sched.DisableBoost = spec.DisableBoost
 	cfg.Sched.DisableSteal = spec.DisableSteal
+	cfg.Faults = spec.Faults
 	for i, k := range spec.NodeKinds {
 		if k == "" {
 			continue
@@ -196,6 +197,7 @@ func fingerprint(s *cluster.Scenario, tracer *vmm.Tracer) string {
 	var b strings.Builder
 	eng := s.World.Eng
 	fmt.Fprintf(&b, "now=%d executed=%d\n", int64(eng.Now()), eng.Executed())
+	fmt.Fprintf(&b, "%s\n", s.FaultReport())
 	for _, run := range s.Runs() {
 		fmt.Fprintf(&b, "run rounds=%d times=%v\n", run.Rounds(), run.Times())
 	}

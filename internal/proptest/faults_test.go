@@ -1,0 +1,88 @@
+package proptest_test
+
+import (
+	"testing"
+
+	"atcsched/internal/fault"
+	"atcsched/internal/proptest"
+)
+
+// faultSpec is the directed battery scenario: two small clusters plus a
+// fault schedule exercising every generated kind — straggler, freeze,
+// loss, bandwidth, and all three monitor faults — overlapping the
+// measured work.
+func faultSpec() proptest.Spec {
+	return proptest.Spec{
+		Seed:  42,
+		Nodes: 2,
+		PCPUs: 4,
+		Clusters: []proptest.ClusterSpec{
+			{Kernel: "lu", Class: "A", VMs: 2, VCPUs: 4, Rounds: 2, Iterations: 4},
+			{Kernel: "ep", Class: "A", VMs: 2, VCPUs: 2, Rounds: 2, Iterations: 3},
+		},
+		HorizonSec: 900,
+		Faults: &fault.Spec{Windows: []fault.Window{
+			{Kind: fault.PCPUSlow, StartSec: 0.01, DurSec: 0.3, Nodes: []int{0}, Severity: 4},
+			{Kind: fault.PCPUFreeze, StartSec: 0.05, DurSec: 0.1, Nodes: []int{1}},
+			{Kind: fault.PacketLoss, StartSec: 0.02, DurSec: 0.4, Severity: 0.2},
+			{Kind: fault.Bandwidth, StartSec: 0.1, DurSec: 0.3, Severity: 0.4},
+			{Kind: fault.MonitorDrop, StartSec: 0.01, DurSec: 0.2, Severity: 0.5},
+			{Kind: fault.MonitorNoise, StartSec: 0.1, DurSec: 0.2, Severity: 0.3},
+			{Kind: fault.MonitorStale, StartSec: 0.2, DurSec: 0.2, Severity: 0.5},
+		}},
+	}
+}
+
+// TestFaultBattery runs the full property battery — liveness,
+// conservation, audits, determinism replay, differential agreement — on
+// a scenario with every injectable fault kind live. Loss is modeled as
+// delayed retransmission and monitor faults only perturb observations,
+// so every property must still hold.
+func TestFaultBattery(t *testing.T) {
+	runBattery(t, faultSpec())
+}
+
+// TestFaultSpecValidates pins that the directed scenario is inside the
+// generator's hard bounds (so a bound tightening can't silently skip it).
+func TestFaultSpecValidates(t *testing.T) {
+	if err := faultSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateRejectsBadFaults extends the fuzz safety net to the fault
+// block.
+func TestValidateRejectsBadFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*proptest.Spec)
+	}{
+		{"unknown fault kind", func(s *proptest.Spec) {
+			s.Faults = &fault.Spec{Windows: []fault.Window{{Kind: "meteor", DurSec: 1}}}
+		}},
+		{"fault past horizon", func(s *proptest.Spec) {
+			s.Faults = &fault.Spec{Windows: []fault.Window{
+				{Kind: fault.PacketLoss, StartSec: s.HorizonSec, DurSec: 1}}}
+		}},
+		{"fault node out of range", func(s *proptest.Spec) {
+			s.Faults = &fault.Spec{Windows: []fault.Window{
+				{Kind: fault.PCPUSlow, DurSec: 1, Nodes: []int{s.Nodes}}}}
+		}},
+		{"too many fault windows", func(s *proptest.Spec) {
+			ws := make([]fault.Window, 9)
+			for i := range ws {
+				ws[i] = fault.Window{Kind: fault.PacketLoss, DurSec: 1}
+			}
+			s.Faults = &fault.Spec{Windows: ws}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := proptest.Generate(1, proptest.Bounded())
+			tc.mut(&spec)
+			if err := spec.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", spec)
+			}
+		})
+	}
+}

@@ -15,9 +15,14 @@
 //     monotone, and each virtual cluster posts exactly the analytic
 //     packet count implied by its communication pattern;
 //   - determinism: replaying the same seed yields byte-identical result
-//     structs and scheduling traces;
+//     structs, scheduling traces and fault-injection reports;
 //   - differential agreement: all approaches (CR, CS, BS, DSS, VS, HY,
 //     ATC) complete the same logical work on the same scenario.
+//
+// A slice of generated scenarios carries a fault-injection schedule
+// (stragglers, packet loss, bandwidth degradation, monitor faults); the
+// full battery must hold under faults too — loss is modeled as delayed
+// retransmission, so conservation and liveness survive.
 //
 // Failures reproduce from a single generator seed (see the sweep test's
 // -proptest.seed flag); Shrink minimizes a failing Spec to a smaller
@@ -27,6 +32,7 @@ package proptest
 import (
 	"fmt"
 
+	"atcsched/internal/fault"
 	"atcsched/internal/rng"
 	"atcsched/internal/sched/registry"
 	"atcsched/internal/sim"
@@ -65,6 +71,9 @@ type Spec struct {
 	// property.
 	SwapKind  string  `json:"swapKind,omitempty"`
 	SwapAtSec float64 `json:"swapAtSec,omitempty"`
+	// Faults, when present, layers a deterministic fault schedule onto
+	// the run; the battery's properties must hold regardless.
+	Faults *fault.Spec `json:"faults,omitempty"`
 	// HorizonSec caps the run's virtual time (liveness safety net).
 	HorizonSec float64 `json:"horizonSec"`
 }
@@ -102,6 +111,10 @@ const (
 	maxIterations = 20
 	maxJobs       = 8
 	maxHorizonSec = 3600
+	// maxFaultWindows is tighter than the fault package's own cap: a
+	// property-test world is tiny, and a handful of windows already
+	// exercises every hook.
+	maxFaultWindows = 8
 )
 
 // Validate checks a Spec against the generator's hard bounds.
@@ -155,6 +168,20 @@ func (s Spec) Validate() error {
 		}
 		if s.SwapAtSec <= 0 || s.SwapAtSec > s.HorizonSec {
 			return fmt.Errorf("proptest: swapAtSec %vs out of (0,%vs]", s.SwapAtSec, s.HorizonSec)
+		}
+	}
+	if s.Faults != nil {
+		if n := len(s.Faults.Windows); n > maxFaultWindows {
+			return fmt.Errorf("proptest: %d fault windows exceeds %d", n, maxFaultWindows)
+		}
+		if err := s.Faults.Validate(s.Nodes); err != nil {
+			return fmt.Errorf("proptest: %w", err)
+		}
+		for i, w := range s.Faults.Windows {
+			if w.StartSec+w.DurSec > s.HorizonSec {
+				return fmt.Errorf("proptest: fault window %d ends at %vs, past horizon %vs",
+					i, w.StartSec+w.DurSec, s.HorizonSec)
+			}
 		}
 	}
 	for i, j := range s.Jobs {
@@ -248,6 +275,55 @@ var jobTypes = []string{"ping", "web", "disk", "stream", "cpu"}
 // classChoices weight problem classes toward the small ones.
 var classChoices = []string{"A", "A", "A", "B"}
 
+// faultKindChoices are the fault kinds the generator draws from,
+// weighted toward the compute and network planes. actuator-fail is
+// omitted: cluster-driven runs actuate in-sim, so it would be inert.
+var faultKindChoices = []fault.Kind{
+	fault.PCPUSlow, fault.PCPUSlow, fault.PCPUFreeze,
+	fault.PacketLoss, fault.PacketLoss, fault.Bandwidth,
+	fault.MonitorDrop, fault.MonitorNoise, fault.MonitorStale,
+}
+
+// genFaults draws a small fault schedule: short windows early in the
+// run (where the measured work lives) with property-safe severities.
+func genFaults(src *rng.Source, nodes int) *fault.Spec {
+	fs := &fault.Spec{}
+	for i, n := 0, 1+src.Intn(3); i < n; i++ {
+		k := faultKindChoices[src.Intn(len(faultKindChoices))]
+		w := fault.Window{
+			Kind:     k,
+			StartSec: 0.02 + 0.3*src.Float64(),
+			DurSec:   0.05 + 0.4*src.Float64(),
+		}
+		scoped := false
+		switch k {
+		case fault.PCPUSlow:
+			w.Severity = 2 + 6*src.Float64()
+			scoped = true
+		case fault.PCPUFreeze:
+			// Freeze takes no severity; keep the stall well short of the
+			// horizon so liveness is a real check, not a timeout race.
+			w.DurSec = 0.05 + 0.2*src.Float64()
+			scoped = true
+		case fault.PacketLoss:
+			w.Severity = 0.05 + 0.25*src.Float64()
+			scoped = true
+		case fault.Bandwidth:
+			w.Severity = 0.25 + 0.7*src.Float64()
+			scoped = true
+		case fault.MonitorNoise:
+			w.Severity = 0.05 + 0.45*src.Float64() // milliseconds
+		default: // monitor drop/stale probabilities
+			w.Severity = 0.2 + 0.6*src.Float64()
+		}
+		if scoped && src.Float64() < 0.5 {
+			w.Nodes = []int{src.Intn(nodes)}
+		}
+		fs.Windows = append(fs.Windows, w)
+	}
+	return fs
+}
+
 // Generate derives a Spec from a seed, drawing every parameter from
 // internal/rng so the same seed always yields the same scenario.
 func Generate(seed uint64, lim Limits) Spec {
@@ -296,6 +372,9 @@ func Generate(seed uint64, lim Limits) Spec {
 		spec.SwapKind = kinds[src.Intn(len(kinds))]
 		// Early in the run so the swap lands while measured work is live.
 		spec.SwapAtSec = 0.05 + 0.5*src.Float64()
+	}
+	if src.Float64() < 0.15 {
+		spec.Faults = genFaults(src, spec.Nodes)
 	}
 	return spec
 }

@@ -1,5 +1,7 @@
 package proptest
 
+import "atcsched/internal/fault"
+
 // shrinkAttempts bounds the total candidate re-runs one Shrink performs;
 // each candidate costs a full battery run, so the budget is modest.
 const shrinkAttempts = 48
@@ -47,6 +49,16 @@ func candidates(s Spec) []Spec {
 		c.Jobs = append(c.Jobs[:i:i], c.Jobs[i+1:]...)
 		out = append(out, c)
 	}
+	if s.Faults != nil {
+		for i := range s.Faults.Windows {
+			c := clone(s)
+			c.Faults.Windows = append(c.Faults.Windows[:i:i], c.Faults.Windows[i+1:]...)
+			if len(c.Faults.Windows) == 0 {
+				c.Faults = nil
+			}
+			out = append(out, c)
+		}
+	}
 	if s.Nodes > 1 {
 		c := clone(s)
 		c.Nodes = halve(c.Nodes)
@@ -59,6 +71,16 @@ func candidates(s Spec) []Spec {
 		// Node-kind pins for dropped nodes go with them.
 		if len(c.NodeKinds) > c.Nodes {
 			c.NodeKinds = c.NodeKinds[:c.Nodes]
+		}
+		// Fault-window node scopes re-home the same way.
+		if c.Faults != nil {
+			for i := range c.Faults.Windows {
+				for j, n := range c.Faults.Windows[i].Nodes {
+					if n >= c.Nodes {
+						c.Faults.Windows[i].Nodes[j] = c.Nodes - 1
+					}
+				}
+			}
 		}
 		out = append(out, c)
 	}
@@ -104,6 +126,11 @@ func candidates(s Spec) []Spec {
 		c.SwapAtSec = 0
 		out = append(out, c)
 	}
+	if s.Faults != nil {
+		c := clone(s)
+		c.Faults = nil
+		out = append(out, c)
+	}
 	return out
 }
 
@@ -121,5 +148,14 @@ func clone(s Spec) Spec {
 	c.Clusters = append([]ClusterSpec(nil), s.Clusters...)
 	c.Jobs = append([]JobSpec(nil), s.Jobs...)
 	c.NodeKinds = append([]string(nil), s.NodeKinds...)
+	if s.Faults != nil {
+		f := fault.Spec{Seed: s.Faults.Seed}
+		f.Windows = append([]fault.Window(nil), s.Faults.Windows...)
+		for i := range f.Windows {
+			f.Windows[i].Nodes = append([]int(nil), f.Windows[i].Nodes...)
+			f.Windows[i].VMs = append([]int(nil), f.Windows[i].VMs...)
+		}
+		c.Faults = &f
+	}
 	return c
 }

@@ -3,6 +3,7 @@ package scenario_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"atcsched/internal/scenario"
@@ -65,6 +66,34 @@ func TestHeteroExample(t *testing.T) {
 		if got := res.Scenario.World.Node(n).Scheduler().Name(); got != name {
 			t.Errorf("node %d scheduler = %s, want %s", n, got, name)
 		}
+	}
+}
+
+// TestFaultsExample runs the committed fault-injection example to
+// completion: the plan must be live, injections must actually happen,
+// the report must carry the injection row, and the audit must stay
+// clean under the faults.
+func TestFaultsExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run")
+	}
+	res := loadExample(t, "faults.json")
+	if res.Scenario.FaultPlan() == nil {
+		t.Fatal("faults example built without a fault plan")
+	}
+	table, err := res.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Scenario.FaultReport()
+	if rep.PacketsLost == 0 && rep.SamplesDropped == 0 && rep.SamplesNoised == 0 {
+		t.Errorf("no injections recorded: %s", rep)
+	}
+	if !strings.Contains(table.String(), rep.String()) {
+		t.Errorf("report table missing injection row:\n%s", table)
+	}
+	if errs := res.Scenario.World.Audit(); len(errs) > 0 {
+		t.Fatalf("audit under faults: %v", errs[0])
 	}
 }
 

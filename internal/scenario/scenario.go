@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"atcsched/internal/cluster"
+	"atcsched/internal/fault"
 	"atcsched/internal/report"
 	"atcsched/internal/sched/registry"
 	"atcsched/internal/sim"
@@ -41,6 +42,11 @@ type Spec struct {
 	// Switches schedules live policy replacements at virtual times
 	// during the run (e.g. flip CR to ATC mid-experiment).
 	Switches []SwitchSpec `json:"policySwitches,omitempty"`
+	// Faults schedules deterministic fault injection (internal/fault):
+	// straggler nodes, packet loss, bandwidth degradation, monitor
+	// faults. Windows are seeded from faults.seed (or the scenario
+	// seed).
+	Faults *fault.Spec `json:"faults,omitempty"`
 }
 
 // SchedulerSpec selects the VMM scheduling approach.
@@ -311,6 +317,11 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario: policy switch %d: %w", i, err)
 		}
 	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(s.Nodes); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -347,6 +358,7 @@ func Build(spec *Spec) (*Result, error) {
 	if spec.Scheduler.NonParallelAdminSliceMs > 0 {
 		cfg.NonParallelAdminSlice = sim.FromMillis(spec.Scheduler.NonParallelAdminSliceMs)
 	}
+	cfg.Faults = spec.Faults
 	if len(spec.NodePolicies) > 0 {
 		cfg.NodePolicies = map[int]cluster.SchedSpec{}
 		for _, np := range spec.NodePolicies {
@@ -474,6 +486,9 @@ func (r *Result) Run() (*report.Table, error) {
 	}
 	for _, c := range r.cpus {
 		t.Add(c.Profile.Name, "round time", fmt.Sprintf("%.3fs", c.MeanTime()))
+	}
+	if r.Scenario.FaultPlan() != nil {
+		t.Add("faults", "injections", r.Scenario.FaultReport().String())
 	}
 	return t, nil
 }

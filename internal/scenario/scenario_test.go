@@ -94,6 +94,9 @@ func TestValidationErrors(t *testing.T) {
 		"bad cpu profile": `{"nodes": 1, "scheduler": {}, "jobs": [{"type": "cpu", "name": "rustc", "node": 0}]}`,
 		"unknown field":   `{"nodes": 1, "scheduler": {}, "frobnicate": 1, "virtualClusters": [{}]}`,
 		"neg slice":       `{"nodes": 1, "scheduler": {"fixedSliceMs": -2}, "virtualClusters": [{}]}`,
+		"bad fault kind":  `{"nodes": 1, "scheduler": {}, "virtualClusters": [{}], "faults": {"windows": [{"kind": "meteor", "durSec": 1}]}}`,
+		"fault node":      `{"nodes": 1, "scheduler": {}, "virtualClusters": [{}], "faults": {"windows": [{"kind": "pcpu-slow", "durSec": 1, "nodes": [3]}]}}`,
+		"fault severity":  `{"nodes": 1, "scheduler": {}, "virtualClusters": [{}], "faults": {"windows": [{"kind": "packet-loss", "durSec": 1, "severity": 2}]}}`,
 	}
 	for name, js := range cases {
 		if _, err := Load(strings.NewReader(js)); err == nil {

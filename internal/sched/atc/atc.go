@@ -183,16 +183,23 @@ func (s *Scheduler) OnPeriod(n *vmm.Node) {
 	infos := make([]core.VMInfo, 0, len(guests))
 	for _, vm := range guests {
 		var avg sim.Time
+		fresh := true
 		switch s.opts.Monitor {
 		case SignalSchedWait:
 			avg = vm.SamplePeriodWait()
 		default:
-			avg = vm.SpinMon.SamplePeriod()
+			// The fault-aware monitoring path: a dropped sample yields no
+			// observation this period (the controller keeps the VM's
+			// existing history); stale and noisy readings come back as
+			// values, as they would from a real flaky guest agent.
+			avg, _, fresh = vm.SampleSpinPeriod()
 		}
 		if avg <= s.opts.NoiseFloor {
 			avg = 0
 		}
-		s.ctl.Observe(vm.ID(), avg, s.CurrentSlice(vm))
+		if fresh {
+			s.ctl.Observe(vm.ID(), avg, s.CurrentSlice(vm))
+		}
 		if s.opts.AutoDetect {
 			contended := sumContended(vm)
 			if contended > s.prevContended[vm.ID()] {

@@ -49,3 +49,49 @@ func (m *SpinMonitor) LifetimeMax() sim.Time { return sim.Time(m.lifetime.Max())
 
 // LifetimeSum returns the total time spent waiting on spinlocks.
 func (m *SpinMonitor) LifetimeSum() sim.Time { return sim.Time(m.lifetime.Sum()) }
+
+// MonitorVerdict is a monitor-tap decision for one sample (see
+// World.SetMonitorTap): the sample may be suppressed entirely (Drop),
+// replaced by the previously reported value and sequence number
+// (Stale), or perturbed by additive Noise.
+type MonitorVerdict struct {
+	Drop  bool
+	Stale bool
+	Noise sim.Time
+}
+
+// SampleSpinPeriod is the fault-aware monitoring path: it samples the
+// VM's per-period spin latency like SpinMon.SamplePeriod, routed
+// through the world's monitor tap when one is installed. It returns
+// the (possibly perturbed) average, a sequence number that advances
+// only on fresh readings — consumers detect stale data by a repeated
+// sequence — and ok=false when the sample was dropped. The underlying
+// period accumulator is consumed even when the verdict suppresses the
+// reading: a faulty monitoring path loses data, it does not defer it.
+func (vm *VM) SampleSpinPeriod() (avg sim.Time, seq uint64, ok bool) {
+	raw := vm.SpinMon.SamplePeriod()
+	tap := vm.node.world.monitorTap
+	if tap == nil {
+		vm.monSeq++
+		vm.monLastVal, vm.monLastSeq = raw, vm.monSeq
+		return raw, vm.monSeq, true
+	}
+	v := tap(vm)
+	switch {
+	case v.Drop:
+		return 0, 0, false
+	case v.Stale:
+		if vm.monLastSeq == 0 {
+			// Nothing previous to repeat: indistinguishable from a dropout.
+			return 0, 0, false
+		}
+		return vm.monLastVal, vm.monLastSeq, true
+	}
+	raw += v.Noise
+	if raw < 0 {
+		raw = 0
+	}
+	vm.monSeq++
+	vm.monLastVal, vm.monLastSeq = raw, vm.monSeq
+	return raw, vm.monSeq, true
+}

@@ -176,6 +176,18 @@ func (n *Node) newVM(name string, class VMClass, vcpus int, footprint int64, col
 	return vm
 }
 
+// slowFactor samples the world's slowdown hook for this node (1 = full
+// speed; the fault plane's straggler windows return > 1).
+func (n *Node) slowFactor(now sim.Time) float64 {
+	if n.world.slowFn == nil {
+		return 1
+	}
+	if f := n.world.slowFn(n.id, now); f > 1 {
+		return f
+	}
+	return 1
+}
+
 // wake transitions a blocked VCPU to runnable and kicks the dispatcher.
 // io marks I/O-caused wakeups (counted for DSS).
 func (n *Node) wake(v *VCPU, io bool) {

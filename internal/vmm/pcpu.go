@@ -87,6 +87,29 @@ func (p *PCPU) SliceEnd() sim.Time { return p.sliceEnd }
 // Cache returns this PCPU's LLC model.
 func (p *PCPU) Cache() *cachemodel.Cache { return p.cache }
 
+// stretch scales a segment duration by a slowdown factor, saturating
+// far below the sim.Time range so freeze-grade factors cannot overflow.
+func stretch(t sim.Time, f float64) sim.Time {
+	if f <= 1 {
+		return t
+	}
+	s := float64(t) * f
+	const saturate = float64(1) * 1e18 // ~31 virtual years
+	if s > saturate {
+		return sim.Time(saturate)
+	}
+	return sim.Time(s)
+}
+
+// unstretch converts wall time spent in a slowed segment back into the
+// work-equivalent time the cache model and burn accounting expect.
+func unstretch(dt sim.Time, f float64) sim.Time {
+	if f <= 1 {
+		return dt
+	}
+	return sim.Time(float64(dt) / f)
+}
+
 func (p *PCPU) clientFor(v *VCPU) *cachemodel.Client {
 	cl, ok := p.clients[v]
 	if !ok {
@@ -237,6 +260,11 @@ func (p *PCPU) accountPartial(v *VCPU, now sim.Time) {
 		return
 	}
 	a := v.pending
+	// Wall time in a slowed segment counts for less work.
+	dt = unstretch(dt, v.segSlow)
+	if dt <= 0 {
+		return
+	}
 	switch a.Kind {
 	case ActCompute:
 		work := p.cache.Advance(p.clientFor(v), dt)
@@ -329,7 +357,8 @@ func (p *PCPU) step() {
 				continue
 			}
 			cl := p.clientFor(v)
-			t := p.cache.TimeFor(cl, a.Work)
+			v.segSlow = p.node.slowFactor(now)
+			t := stretch(p.cache.TimeFor(cl, a.Work), v.segSlow)
 			v.runSegStart = now
 			if now+t <= p.sliceEnd {
 				p.stepEv = eng.Schedule(t, func() {
@@ -478,7 +507,7 @@ func (p *PCPU) onSegmentDone(v *VCPU) {
 		// segment is complete by construction; Advance only settles the
 		// cache-residency state (its float work accounting can drift a
 		// few microseconds on long cold segments, which we discard).
-		p.cache.Advance(p.clientFor(v), dt)
+		p.cache.Advance(p.clientFor(v), unstretch(dt, v.segSlow))
 		a.Work = 0
 		p.completeAction(v, a)
 	default:
@@ -529,9 +558,10 @@ func (p *PCPU) startBurn(v *VCPU, a *Action, cost sim.Time) bool {
 		return true
 	}
 	now := p.node.eng.Now()
+	v.segSlow = p.node.slowFactor(now)
 	v.runSegStart = now
-	if now+v.burnRemaining <= p.sliceEnd {
-		p.stepEv = p.node.eng.Schedule(v.burnRemaining, func() {
+	if wall := stretch(v.burnRemaining, v.segSlow); now+wall <= p.sliceEnd {
+		p.stepEv = p.node.eng.Schedule(wall, func() {
 			p.stepEv = sim.Handle{}
 			p.onSegmentDone(v)
 		})

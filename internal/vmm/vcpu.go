@@ -66,6 +66,11 @@ type VCPU struct {
 	// runSegStart marks when the current timed segment (compute or burn)
 	// began on the PCPU; negative when no timed segment is in flight.
 	runSegStart sim.Time
+	// segSlow is the execution-time multiplier sampled when the current
+	// timed segment started (1 when no slowdown hook is active); wall
+	// time spent in the segment is divided by it before being credited
+	// as work.
+	segSlow float64
 
 	spinningOn *Spinlock
 	spinSince  sim.Time

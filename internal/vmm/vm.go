@@ -74,6 +74,12 @@ type VM struct {
 
 	// SpinMon aggregates guest spinlock latency (the ATC input signal).
 	SpinMon SpinMonitor
+	// monSeq/monLastVal/monLastSeq back SampleSpinPeriod: the sequence
+	// number of the last fresh sample and the value it reported, so a
+	// faulty monitoring path can re-serve stale readings detectably.
+	monSeq     uint64
+	monLastVal sim.Time
+	monLastSeq uint64
 
 	// ioWakes counts I/O-caused wakeups.
 	ioWakes       uint64

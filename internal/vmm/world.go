@@ -22,7 +22,26 @@ type World struct {
 	nextVCPUID int
 	started    bool
 	tracer     *Tracer
+
+	// slowFn, when set, reports the execution-time multiplier (>= 1) in
+	// force on a node at an instant; the PCPUs stretch every compute and
+	// burn segment started while it is > 1 (fault plane: stragglers).
+	slowFn func(node int, now sim.Time) float64
+	// monitorTap, when set, filters every spin-monitor sample taken via
+	// VM.SampleSpinPeriod (fault plane: dropouts, noise, stale reads).
+	monitorTap func(vm *VM) MonitorVerdict
 }
+
+// SetSlowdown installs (or, with nil, removes) the per-node execution
+// slowdown hook. fn must be deterministic in (node, now); factors below
+// 1 are treated as 1. Segments already in flight keep the factor they
+// started with — the hook is sampled at segment start, so its
+// granularity is one slice at worst.
+func (w *World) SetSlowdown(fn func(node int, now sim.Time) float64) { w.slowFn = fn }
+
+// SetMonitorTap installs (or, with nil, removes) the monitoring-path
+// fault hook consulted by VM.SampleSpinPeriod.
+func (w *World) SetMonitorTap(fn func(vm *VM) MonitorVerdict) { w.monitorTap = fn }
 
 // SetTracer attaches a scheduling tracer (nil detaches). Attach before
 // Start to capture the whole run.
