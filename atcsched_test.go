@@ -56,8 +56,8 @@ func TestNPBProfileFacade(t *testing.T) {
 }
 
 func TestExperimentsFacade(t *testing.T) {
-	if len(Experiments()) != 17 {
-		t.Errorf("experiments = %d, want 17", len(Experiments()))
+	if len(Experiments()) != 18 {
+		t.Errorf("experiments = %d, want 18", len(Experiments()))
 	}
 	tables, err := RunExperiment("tab1", "small", 1)
 	if err != nil {

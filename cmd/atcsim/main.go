@@ -132,7 +132,7 @@ func run(args []string, stdout io.Writer) error {
 		for h := 0; h < *hogs; h++ {
 			vm := s.IndependentVM(fmt.Sprintf("hog%d-%d", n, h), n, *vcpus, vmm.ClassNonParallel)
 			for _, v := range vm.VCPUs() {
-				workload.NewCPUJob(s.World.Eng, v, workload.SPECProfiles()[0])
+				workload.NewCPUJob(v, workload.SPECProfiles()[0])
 			}
 		}
 	}

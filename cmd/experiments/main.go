@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -41,16 +42,18 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		expID      = fs.String("exp", "", "experiment id(s), comma-separated (fig1, fig2, fig5, fig8, euclid, fig9, fig10, fig11, fig12, fig13, fig14, tab1; extensions: score, sens, ablate, switch, faults)")
-		all        = fs.Bool("all", false, "run every experiment")
-		list       = fs.Bool("list", false, "list experiments and exit")
-		scale      = fs.String("scale", "small", "small | medium | full")
-		seed       = fs.Uint64("seed", 1, "workload seed")
-		format     = fs.String("format", "text", "text | csv | markdown")
-		outDir     = fs.String("out", "", "also write each table as CSV into this directory")
-		parallel   = fs.Int("parallel", 0, "worker-pool width for experiment cells (0 = GOMAXPROCS, 1 = serial)")
-		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		expID        = fs.String("exp", "", "experiment id(s), comma-separated (fig1, fig2, fig5, fig8, euclid, fig9, fig10, fig11, fig12, fig13, fig14, tab1; extensions: score, sens, ablate, switch, faults, scale)")
+		all          = fs.Bool("all", false, "run every experiment (skips wall-clock benchmarks like scale; select those with -exp)")
+		list         = fs.Bool("list", false, "list experiments and exit")
+		scale        = fs.String("scale", "small", "small | medium | full")
+		seed         = fs.Uint64("seed", 1, "workload seed")
+		format       = fs.String("format", "text", "text | csv | markdown")
+		outDir       = fs.String("out", "", "also write each table as CSV into this directory")
+		parallel     = fs.Int("parallel", 0, "worker-pool width for experiment cells (0 = GOMAXPROCS, 1 = serial)")
+		cpuprofile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		blockprofile = fs.String("blockprofile", "", "write a goroutine blocking profile to this file on exit (shard barrier waits)")
+		mutexprofile = fs.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +85,15 @@ func run(args []string, stdout io.Writer) error {
 		}()
 	}
 
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockprofile)
+	}
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexprofile)
+	}
+
 	if *list {
 		for _, e := range experiment.All() {
 			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
@@ -95,7 +107,11 @@ func run(args []string, stdout io.Writer) error {
 	var exps []experiment.Experiment
 	switch {
 	case *all:
-		exps = experiment.All()
+		for _, e := range experiment.All() {
+			if !e.Bench {
+				exps = append(exps, e)
+			}
+		}
 	case *expID != "":
 		for _, id := range strings.Split(*expID, ",") {
 			e, err := experiment.ByID(strings.TrimSpace(id))
@@ -136,6 +152,20 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "== total: %d experiment(s), %d cell(s) in %v (workers=%d)\n",
 		len(exps), runner.Cells(), time.Since(runStart).Round(time.Millisecond), runner.DefaultWorkers())
 	return nil
+}
+
+// writeProfile dumps a named runtime profile (block, mutex) on exit;
+// failures are reported, not fatal — the tables already printed.
+func writeProfile(kind, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(kind).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
 }
 
 func writeCSV(dir, name, csv string) error {

@@ -39,9 +39,9 @@ func main() {
 		}
 		server := s.IndependentVM("apache", 0, 8, vmm.ClassNonParallel)
 		client := s.IndependentVM("httperf", 1, 8, vmm.ClassNonParallel)
-		web := workload.NewWebJob(s.World.Eng, client, 0, server, 0,
+		web := workload.NewWebJob(client, 0, server, 0,
 			20*sim.Millisecond, 2*sim.Millisecond, 3)
-		batch := workload.NewCPUJob(s.World.Eng, client.VCPU(1), workload.SPECProfiles()[0])
+		batch := workload.NewCPUJob(client.VCPU(1), workload.SPECProfiles()[0])
 		if !s.Go(600 * sim.Second) {
 			log.Fatalf("%s: horizon exceeded", kind)
 		}

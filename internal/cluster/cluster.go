@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"atcsched/internal/fault"
 	"atcsched/internal/netmodel"
@@ -92,7 +93,15 @@ type Config struct {
 	Nodes int
 	Node  vmm.NodeConfig
 	Net   netmodel.Config
-	Sched SchedSpec
+	// Shards, when positive, runs the world on that many engine shards
+	// synchronized at the network lookahead (Net.WireLatency must be
+	// positive); nodes are partitioned contiguously over the shards.
+	// Zero keeps the historical single-engine world. Results are
+	// byte-identical across shard counts >= 1, but the sharded
+	// fingerprint family differs from the serial one (cross-node
+	// deliveries sequence at lookahead barriers).
+	Shards int
+	Sched  SchedSpec
 	// NodePolicies, when non-empty, overrides Sched for specific nodes
 	// (keyed by node index), making the cluster heterogeneous: e.g. most
 	// nodes under CR with one node under ATC. Each entry is a complete
@@ -137,8 +146,13 @@ type Scenario struct {
 	Cfg   Config
 	World *vmm.World
 
-	runs       []*workload.ParallelRun
-	pending    int
+	runs []*workload.ParallelRun
+	// pending counts measured runs that have not reached their target.
+	// Atomic because in a sharded world each run's completion callback
+	// fires on its home node's shard; every decrement still happens at
+	// an instant fixed by virtual time, so reaching zero — and the
+	// window-quantized Stop it triggers — is deterministic.
+	pending    atomic.Int64
 	nextVC     int
 	auditViols []error
 	faults     *fault.Plan
@@ -161,12 +175,18 @@ func New(cfg Config) (*Scenario, error) {
 		}
 		perNode[i] = f
 	}
-	w, err := vmm.NewHeteroWorld(cfg.Nodes, cfg.Node, cfg.Net, func(i int) vmm.SchedulerFactory {
+	factoryFor := func(i int) vmm.SchedulerFactory {
 		if f, ok := perNode[i]; ok {
 			return f
 		}
 		return def
-	})
+	}
+	var w *vmm.World
+	if cfg.Shards > 0 {
+		w, err = vmm.NewShardedHeteroWorld(cfg.Nodes, cfg.Shards, cfg.Node, cfg.Net, factoryFor)
+	} else {
+		w, err = vmm.NewHeteroWorld(cfg.Nodes, cfg.Node, cfg.Net, factoryFor)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -235,10 +255,9 @@ func (s *Scenario) IndependentVM(name string, node, vcpus int, class vmm.VMClass
 func (s *Scenario) RunParallel(profile workload.AppProfile, vms []*vmm.VM, rounds int, forever bool) *workload.ParallelRun {
 	s.nextVC++
 	app := workload.NewBSPApp(profile, vms, s.Cfg.Seed+uint64(s.nextVC)*7919)
-	s.pending++
-	run := workload.NewParallelRun(s.World.Eng, app, rounds, forever, func() {
-		s.pending--
-		if s.pending == 0 {
+	s.pending.Add(1)
+	run := workload.NewParallelRun(app, rounds, forever, func() {
+		if s.pending.Add(-1) == 0 {
 			s.World.Stop()
 		}
 	})
@@ -253,7 +272,7 @@ func (s *Scenario) RunParallel(profile workload.AppProfile, vms []*vmm.VM, round
 func (s *Scenario) RunBackground(profile workload.AppProfile, vms []*vmm.VM) *workload.ParallelRun {
 	s.nextVC++
 	app := workload.NewBSPApp(profile, vms, s.Cfg.Seed+uint64(s.nextVC)*7919)
-	run := workload.NewParallelRun(s.World.Eng, app, 1, true, nil)
+	run := workload.NewParallelRun(app, 1, true, nil)
 	run.Install()
 	return run
 }
@@ -274,8 +293,8 @@ func (s *Scenario) GoFor(d sim.Time) {
 // (throughput, response time) accumulate while the Forever runs keep the
 // load up.
 func (s *Scenario) ContinueFor(d sim.Time) {
-	s.World.Eng.Resume()
-	s.advance(s.World.Eng.Now() + d)
+	s.World.Resume()
+	s.advance(s.World.Now() + d)
 }
 
 // ContinueUntil resumes the world and runs in steps of `step` until done
@@ -283,10 +302,10 @@ func (s *Scenario) ContinueFor(d sim.Time) {
 // final done() value. A measured-run completion that stops the engine
 // mid-loop is resumed — the cap, not the stop, bounds this drive.
 func (s *Scenario) ContinueUntil(done func() bool, step, cap sim.Time) bool {
-	deadline := s.World.Eng.Now() + cap
-	for !done() && s.World.Eng.Now() < deadline {
-		s.World.Eng.Resume()
-		next := s.World.Eng.Now() + step
+	deadline := s.World.Now() + cap
+	for !done() && s.World.Now() < deadline {
+		s.World.Resume()
+		next := s.World.Now() + step
 		if next > deadline {
 			next = deadline
 		}
@@ -301,7 +320,7 @@ func (s *Scenario) ContinueUntil(done func() bool, step, cap sim.Time) bool {
 func (s *Scenario) Go(horizon sim.Time) bool {
 	s.World.Start()
 	s.advance(horizon)
-	return s.pending == 0
+	return s.pending.Load() == 0
 }
 
 // auditViolationCap bounds how many violations a sick run retains.
@@ -317,8 +336,8 @@ func (s *Scenario) advance(target sim.Time) {
 		s.World.RunUntil(target)
 		return
 	}
-	for !s.World.Eng.Stopped() && s.World.Eng.Now() < target {
-		next := s.World.Eng.Now() + every
+	for !s.World.Stopped() && s.World.Now() < target {
+		next := s.World.Now() + every
 		if next > target {
 			next = target
 		}
@@ -333,13 +352,13 @@ func (s *Scenario) advance(target sim.Time) {
 func (s *Scenario) audit() {
 	errs := s.World.Audit()
 	if s.Cfg.OnAudit != nil {
-		s.Cfg.OnAudit(s.World.Eng.Now(), errs)
+		s.Cfg.OnAudit(s.World.Now(), errs)
 	}
 	for _, err := range errs {
 		if len(s.auditViols) >= auditViolationCap {
 			return
 		}
-		s.auditViols = append(s.auditViols, fmt.Errorf("audit at %v: %w", s.World.Eng.Now(), err))
+		s.auditViols = append(s.auditViols, fmt.Errorf("audit at %v: %w", s.World.Now(), err))
 	}
 }
 

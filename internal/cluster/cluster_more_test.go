@@ -13,7 +13,7 @@ func TestGoForRunsExactDuration(t *testing.T) {
 	cfg.Node.PCPUs = 1
 	s := MustNew(cfg)
 	vm := s.IndependentVM("x", 0, 1, vmm.ClassNonParallel)
-	job := workload.NewCPUJob(s.World.Eng, vm.VCPU(0), workload.SPECProfiles()[0])
+	job := workload.NewCPUJob(vm.VCPU(0), workload.SPECProfiles()[0])
 	s.GoFor(2 * sim.Second)
 	if now := s.World.Eng.Now(); now != 2*sim.Second {
 		t.Errorf("Now = %v, want exactly 2s", now)
@@ -49,7 +49,7 @@ func TestContinueUntilConditionAndCap(t *testing.T) {
 	cfg.Node.PCPUs = 1
 	s := MustNew(cfg)
 	vm := s.IndependentVM("x", 0, 1, vmm.ClassNonParallel)
-	job := workload.NewDiskJob(s.World.Eng, vm.VCPU(0))
+	job := workload.NewDiskJob(vm.VCPU(0))
 	s.GoFor(100 * sim.Millisecond)
 	ok := s.ContinueUntil(func() bool { return job.Requests() >= 20 }, 100*sim.Millisecond, 10*sim.Second)
 	if !ok {

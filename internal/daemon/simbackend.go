@@ -126,7 +126,7 @@ func NewSimBackend(cfg SimBackendConfig) (*SimBackend, error) {
 			vms = append(vms, w.Node(i).NewVM(fmt.Sprintf("vc%d-%d", vc, i), vmm.ClassParallel, cfg.VCPUsPerVM, 0, 1))
 		}
 		app := workload.NewBSPApp(prof, vms, cfg.Seed+uint64(vc))
-		run := workload.NewParallelRun(w.Eng, app, 1, true, nil)
+		run := workload.NewParallelRun(app, 1, true, nil)
 		run.Install()
 		b.runs = append(b.runs, run)
 	}

@@ -106,6 +106,12 @@ func ScaleByName(name string) (Scale, error) {
 type Experiment struct {
 	ID    string
 	Title string
+	// Bench marks a wall-clock benchmark: its tables carry host timing
+	// (not deterministic per (scale, seed)) and may append to a BENCH
+	// trajectory file. `-all` skips bench experiments — the serial vs
+	// parallel byte-diff must stay empty — so they run only by
+	// explicit `-exp` selection.
+	Bench bool
 	// Run produces the experiment's tables.
 	Run func(sc Scale, seed uint64) ([]*report.Table, error)
 }
@@ -117,7 +123,7 @@ var registry = map[string]Experiment{}
 var canonicalOrder = []string{
 	"fig1", "fig2", "fig5", "fig8", "euclid", "fig9",
 	"fig10", "fig11", "fig12", "fig13", "fig14", "tab1",
-	"score", "sens", "ablate", "switch", "faults",
+	"score", "sens", "ablate", "switch", "faults", "scale",
 }
 
 func register(e Experiment) {

@@ -82,10 +82,10 @@ func runFig2Approach(sc Scale, a cluster.Approach, seed uint64) (fig2Result, err
 	}
 	npA := s.IndependentVM("np-a", 0, sc.VCPUsPerVM, vmm.ClassNonParallel)
 	npB := s.IndependentVM("np-b", 1, sc.VCPUsPerVM, vmm.ClassNonParallel)
-	bonnie := workload.NewDiskJob(s.World.Eng, npA.VCPU(0))
-	sphinx := workload.NewCPUJob(s.World.Eng, npA.VCPU(1), workload.SPECProfiles()[2])
-	stream := workload.NewStreamJob(s.World.Eng, npB.VCPU(0))
-	ping := workload.NewPingJob(s.World.Eng, npB, 1, npA, 2, 10*sim.Millisecond)
+	bonnie := workload.NewDiskJob(npA.VCPU(0))
+	sphinx := workload.NewCPUJob(npA.VCPU(1), workload.SPECProfiles()[2])
+	stream := workload.NewStreamJob(npB.VCPU(0))
+	ping := workload.NewPingJob(npB, 1, npA, 2, 10*sim.Millisecond)
 	s.GoFor(40 * sim.Second)
 	return fig2Result{
 		bonnie: bonnie.ThroughputMBps(),

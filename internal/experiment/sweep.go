@@ -223,9 +223,9 @@ func runFig9(sc Scale, seed uint64) ([]*report.Table, error) {
 		}
 		npA := s.IndependentVM("np-a", 0, sc.VCPUsPerVM, vmm.ClassNonParallel)
 		npB := s.IndependentVM("np-b", 1, sc.VCPUsPerVM, vmm.ClassNonParallel)
-		sphinx := workload.NewCPUJob(s.World.Eng, npA.VCPU(0), workload.SPECProfiles()[2])
-		stream := workload.NewStreamJob(s.World.Eng, npA.VCPU(1))
-		ping := workload.NewPingJob(s.World.Eng, npB, 0, npA, 2, 10*sim.Millisecond)
+		sphinx := workload.NewCPUJob(npA.VCPU(0), workload.SPECProfiles()[2])
+		stream := workload.NewStreamJob(npA.VCPU(1))
+		ping := workload.NewPingJob(npB, 0, npA, 2, 10*sim.Millisecond)
 		s.GoFor(measure)
 		return fig9Row{sphinx: sphinx.MeanTime(), ping: ping.MeanRTT(), stream: stream.BandwidthMBps()}, nil
 	})

@@ -22,6 +22,17 @@ type Plan struct {
 	windows []window
 	src     *rng.Source
 	rep     Report
+
+	// nodeSrc/nodeRep partition the draw-consuming hooks by node when
+	// the plan is attached to a sharded world: hooks fire concurrently
+	// from different shards there, and a shared rng stream would make
+	// draw order depend on wall-clock interleaving. Each node draws from
+	// its own derived stream and tallies into its own report, which is a
+	// pure function of that node's virtual timeline — so the summed
+	// Report is byte-identical at every shard count. Nil in serial mode
+	// (where the shared stream keeps historical fingerprints intact).
+	nodeSrc []*rng.Source
+	nodeRep []Report
 }
 
 // Report tallies the injections a plan performed. All counters advance
@@ -78,6 +89,13 @@ func (p *Plan) Attach(w *vmm.World) error {
 	}
 	var slow, net, bw, mon bool
 	nodes := w.Fabric.Nodes()
+	if w.Sharded() {
+		p.nodeSrc = make([]*rng.Source, nodes)
+		for i := range p.nodeSrc {
+			p.nodeSrc[i] = rng.NewStream(p.seed, faultStream+1+uint64(i))
+		}
+		p.nodeRep = make([]Report, nodes)
+	}
 	for _, win := range p.windows {
 		for n := range win.nodes {
 			if n >= nodes {
@@ -110,12 +128,33 @@ func (p *Plan) Attach(w *vmm.World) error {
 	return nil
 }
 
-// Report returns a snapshot of the injection tallies.
+// Report returns a snapshot of the injection tallies (summed over the
+// per-node partitions in sharded mode; call it at a barrier, e.g. after
+// RunUntil returns).
 func (p *Plan) Report() Report {
 	if p == nil {
 		return Report{}
 	}
-	return p.rep
+	r := p.rep
+	for i := range p.nodeRep {
+		nr := &p.nodeRep[i]
+		r.PacketsLost += nr.PacketsLost
+		r.SamplesDropped += nr.SamplesDropped
+		r.SamplesStaled += nr.SamplesStaled
+		r.SamplesNoised += nr.SamplesNoised
+		r.ActuationsFailed += nr.ActuationsFailed
+	}
+	return r
+}
+
+// drawFor returns the rng stream and report the hook for node should
+// use: the node's own partition in sharded mode, the shared ones
+// otherwise.
+func (p *Plan) drawFor(node int) (*rng.Source, *Report) {
+	if p.nodeSrc != nil {
+		return p.nodeSrc[node], &p.nodeRep[node]
+	}
+	return p.src, &p.rep
 }
 
 // slowdown is the vmm compute-path hook: the strongest slow/freeze
@@ -141,10 +180,11 @@ func (p *Plan) lose(src, dst int, now sim.Time) bool {
 			prob = w.severity
 		}
 	}
-	if prob <= 0 || p.src.Float64() >= prob {
+	draw, rep := p.drawFor(src)
+	if prob <= 0 || draw.Float64() >= prob {
 		return false
 	}
-	p.rep.PacketsLost++
+	rep.PacketsLost++
 	return true
 }
 
@@ -166,6 +206,7 @@ func (p *Plan) bandwidth(node int, now sim.Time) float64 {
 // noise. Drop wins over stale wins over noise when windows overlap.
 func (p *Plan) monitorTap(vm *vmm.VM) vmm.MonitorVerdict {
 	now := vm.Node().Engine().Now()
+	draw, rep := p.drawFor(vm.Node().ID())
 	var v vmm.MonitorVerdict
 	for i := range p.windows {
 		w := &p.windows[i]
@@ -174,24 +215,24 @@ func (p *Plan) monitorTap(vm *vmm.VM) vmm.MonitorVerdict {
 		}
 		switch w.kind {
 		case MonitorDrop:
-			if !v.Drop && p.src.Float64() < w.severity {
+			if !v.Drop && draw.Float64() < w.severity {
 				v.Drop = true
 			}
 		case MonitorStale:
-			if !v.Stale && p.src.Float64() < w.severity {
+			if !v.Stale && draw.Float64() < w.severity {
 				v.Stale = true
 			}
 		case MonitorNoise:
-			v.Noise += sim.Time(p.src.Float64() * w.severity * float64(sim.Millisecond))
+			v.Noise += sim.Time(draw.Float64() * w.severity * float64(sim.Millisecond))
 		}
 	}
 	switch {
 	case v.Drop:
-		p.rep.SamplesDropped++
+		rep.SamplesDropped++
 	case v.Stale:
-		p.rep.SamplesStaled++
+		rep.SamplesStaled++
 	case v.Noise != 0:
-		p.rep.SamplesNoised++
+		rep.SamplesNoised++
 	}
 	return v
 }

@@ -46,8 +46,8 @@ func TestAllApproachesSurviveAudit(t *testing.T) {
 			}
 			web := s.IndependentVM("web", 0, 2, vmm.ClassNonParallel)
 			cli := s.IndependentVM("cli", 1, 2, vmm.ClassNonParallel)
-			workload.NewWebJob(s.World.Eng, cli, 0, web, 0, 15*sim.Millisecond, sim.Millisecond, 3)
-			workload.NewDiskJob(s.World.Eng, web.VCPU(1))
+			workload.NewWebJob(cli, 0, web, 0, 15*sim.Millisecond, sim.Millisecond, 3)
+			workload.NewDiskJob(web.VCPU(1))
 			auditEvery(t, s, 5*sim.Second, 100*sim.Millisecond)
 		})
 	}
@@ -218,7 +218,7 @@ func TestManySmallVMsChurn(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		a := s.IndependentVM(fmt.Sprintf("a%d", i), 0, 1, vmm.ClassNonParallel)
 		b := s.IndependentVM(fmt.Sprintf("b%d", i), 1, 1, vmm.ClassNonParallel)
-		jobs = append(jobs, workload.NewPingJob(s.World.Eng, a, 0, b, 0, sim.Millisecond))
+		jobs = append(jobs, workload.NewPingJob(a, 0, b, 0, sim.Millisecond))
 	}
 	auditEvery(t, s, 2*sim.Second, 50*sim.Millisecond)
 	for i, j := range jobs {

@@ -57,6 +57,7 @@ func runOne(spec Spec, approach cluster.Approach, traced bool) (*result, error) 
 	cfg := cluster.DefaultConfig(spec.Nodes, approach)
 	cfg.Seed = spec.Seed
 	cfg.Node.PCPUs = spec.PCPUs
+	cfg.Shards = spec.Shards
 	if spec.FixedSliceMs > 0 {
 		cfg.Sched.FixedSlice = sim.FromMillis(spec.FixedSliceMs)
 	}
@@ -108,13 +109,28 @@ func runOne(spec Spec, approach cluster.Approach, traced bool) (*result, error) 
 		if err != nil {
 			return nil, err
 		}
-		s.World.Eng.Schedule(sim.FromSeconds(spec.SwapAtSec), func() {
+		at := sim.FromSeconds(spec.SwapAtSec)
+		if s.World.Sharded() {
+			// Each node schedules its own swap on its own engine: one
+			// global event cannot reach across shards, and per-node events
+			// at a fixed virtual time are exactly as deterministic.
 			for _, n := range s.World.Nodes() {
-				if err := n.SwapScheduler(f); err != nil {
-					panic(err) // nil factory cannot reach here
-				}
+				n := n
+				n.Engine().At(at, func() {
+					if err := n.SwapScheduler(f); err != nil {
+						panic(err) // nil factory cannot reach here
+					}
+				})
 			}
-		})
+		} else {
+			s.World.Eng.At(at, func() {
+				for _, n := range s.World.Nodes() {
+					if err := n.SwapScheduler(f); err != nil {
+						panic(err) // nil factory cannot reach here
+					}
+				}
+			})
+		}
 	}
 	res.completed = s.Go(spec.horizon())
 	for _, run := range s.Runs() {
@@ -141,7 +157,7 @@ func runOne(spec Spec, approach cluster.Approach, traced bool) (*result, error) 
 	}
 	res.auditViols = s.AuditViolations()
 	res.finalAudit = s.World.Audit()
-	res.endTime = s.World.Eng.Now()
+	res.endTime = s.World.Now()
 	res.tick = cfg.Node.TickInterval
 	for _, n := range s.World.Nodes() {
 		res.swaps = append(res.swaps, n.Swaps())
@@ -155,7 +171,6 @@ func runOne(spec Spec, approach cluster.Approach, traced bool) (*result, error) 
 // buildJobs installs the Spec's non-parallel co-tenants, mirroring the
 // scenario runner's job placement (peer VMs on the next node around).
 func buildJobs(s *cluster.Scenario, spec Spec) error {
-	eng := s.World.Eng
 	for i, j := range spec.Jobs {
 		peer := (j.Node + 1) % spec.Nodes
 		label := fmt.Sprintf("%s%d", j.Type, i)
@@ -163,23 +178,23 @@ func buildJobs(s *cluster.Scenario, spec Spec) error {
 		case "web":
 			server := s.IndependentVM(label+"-srv", j.Node, 2, vmm.ClassNonParallel)
 			client := s.IndependentVM(label+"-cli", peer, 2, vmm.ClassNonParallel)
-			workload.NewWebJob(eng, client, 0, server, 0,
+			workload.NewWebJob(client, 0, server, 0,
 				20*sim.Millisecond, 2*sim.Millisecond, spec.Seed+uint64(i))
 		case "ping":
 			client := s.IndependentVM(label+"-cli", peer, 1, vmm.ClassNonParallel)
 			echo := s.IndependentVM(label+"-echo", j.Node, 1, vmm.ClassNonParallel)
-			workload.NewPingJob(eng, client, 0, echo, 0, 10*sim.Millisecond)
+			workload.NewPingJob(client, 0, echo, 0, 10*sim.Millisecond)
 		case "disk":
 			vm := s.IndependentVM(label, j.Node, 1, vmm.ClassNonParallel)
-			workload.NewDiskJob(eng, vm.VCPU(0))
+			workload.NewDiskJob(vm.VCPU(0))
 		case "stream":
 			vm := s.IndependentVM(label, j.Node, 1, vmm.ClassNonParallel)
-			workload.NewStreamJob(eng, vm.VCPU(0))
+			workload.NewStreamJob(vm.VCPU(0))
 		case "cpu":
 			vm := s.IndependentVM(label, j.Node, 1, vmm.ClassNonParallel)
 			for _, p := range workload.SPECProfiles() {
 				if p.Name == j.Name {
-					workload.NewCPUJob(eng, vm.VCPU(0), p)
+					workload.NewCPUJob(vm.VCPU(0), p)
 				}
 			}
 		default:
@@ -195,8 +210,7 @@ func buildJobs(s *cluster.Scenario, spec Spec) error {
 // byte-identical fingerprints.
 func fingerprint(s *cluster.Scenario, tracer *vmm.Tracer) string {
 	var b strings.Builder
-	eng := s.World.Eng
-	fmt.Fprintf(&b, "now=%d executed=%d\n", int64(eng.Now()), eng.Executed())
+	fmt.Fprintf(&b, "now=%d executed=%d\n", int64(s.World.Now()), s.World.Executed())
 	fmt.Fprintf(&b, "%s\n", s.FaultReport())
 	for _, run := range s.Runs() {
 		fmt.Fprintf(&b, "run rounds=%d times=%v\n", run.Rounds(), run.Times())
@@ -210,8 +224,8 @@ func fingerprint(s *cluster.Scenario, tracer *vmm.Tracer) string {
 			vm.Name(), vm.PacketsSent(), vm.PacketsReceived(), vm.CtxSwitches(),
 			vm.IOWakes(), int64(vm.RunTime()), int64(vm.WaitTime()), int64(vm.SpinWaitTotal()))
 	}
-	fmt.Fprintf(&b, "trace dropped=%d\n", tracer.Dropped())
-	for _, r := range tracer.Records() {
+	fmt.Fprintf(&b, "trace dropped=%d\n", s.World.TraceDropped())
+	for _, r := range s.World.TraceRecords() {
 		b.WriteString(r.String())
 		b.WriteByte('\n')
 	}

@@ -74,6 +74,12 @@ type Spec struct {
 	// Faults, when present, layers a deterministic fault schedule onto
 	// the run; the battery's properties must hold regardless.
 	Faults *fault.Spec `json:"faults,omitempty"`
+	// Shards, when positive, runs the world on that many engine shards
+	// (the sharded parallel core). Zero keeps the serial engine. The
+	// battery's properties are shard-blind; the dedicated shard
+	// equivalence check additionally proves fingerprints match across
+	// shard counts.
+	Shards int `json:"shards,omitempty"`
 	// HorizonSec caps the run's virtual time (liveness safety net).
 	HorizonSec float64 `json:"horizonSec"`
 }
@@ -111,6 +117,7 @@ const (
 	maxIterations = 20
 	maxJobs       = 8
 	maxHorizonSec = 3600
+	maxShards     = 8
 	// maxFaultWindows is tighter than the fault package's own cap: a
 	// property-test world is tiny, and a handful of windows already
 	// exercises every hook.
@@ -132,6 +139,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("proptest: %d jobs exceeds %d", len(s.Jobs), maxJobs)
 	case s.HorizonSec <= 0 || s.HorizonSec > maxHorizonSec:
 		return fmt.Errorf("proptest: horizon %vs out of (0,%d]", s.HorizonSec, maxHorizonSec)
+	case s.Shards < 0 || s.Shards > maxShards:
+		return fmt.Errorf("proptest: shards %d out of [0,%d]", s.Shards, maxShards)
 	}
 	for i, c := range s.Clusters {
 		if _, err := c.profile(); err != nil {
@@ -375,6 +384,13 @@ func Generate(seed uint64, lim Limits) Spec {
 	}
 	if src.Float64() < 0.15 {
 		spec.Faults = genFaults(src, spec.Nodes)
+	}
+	// A slice of scenarios runs on the sharded engine (shard counts past
+	// the node count clamp down in the world builder; 1 exercises the
+	// sharded machinery without concurrency).
+	if src.Float64() < 0.15 {
+		shardChoices := []int{1, 2, 4, 8}
+		spec.Shards = shardChoices[src.Intn(len(shardChoices))]
 	}
 	return spec
 }

@@ -1,0 +1,94 @@
+package proptest
+
+import (
+	"testing"
+
+	"atcsched/internal/cluster"
+	"atcsched/internal/fault"
+)
+
+// shardEquivSpec is the pinned shard-equivalence scenario: four nodes
+// (so four shards are real, not clamped), two parallel clusters striped
+// across them, non-parallel co-tenants, a live policy switch and a fault
+// schedule exercising the network, compute and monitor planes — every
+// subsystem whose sharding could leak into results.
+func shardEquivSpec() Spec {
+	return Spec{
+		Seed:  7,
+		Nodes: 4,
+		PCPUs: 2,
+		Clusters: []ClusterSpec{
+			{Kernel: "lu", Class: "A", VMs: 4, VCPUs: 2, Rounds: 2, Iterations: 3},
+			{Kernel: "ep", Class: "A", VMs: 2, VCPUs: 2, Rounds: 2, Iterations: 2},
+		},
+		Jobs: []JobSpec{
+			{Type: "web", Node: 0},
+			{Type: "ping", Node: 2},
+			{Type: "disk", Node: 3},
+		},
+		SwapKind:   "CR",
+		SwapAtSec:  0.2,
+		HorizonSec: 900,
+		Faults: &fault.Spec{Windows: []fault.Window{
+			{Kind: fault.PCPUSlow, StartSec: 0.01, DurSec: 0.2, Nodes: []int{1}, Severity: 3},
+			{Kind: fault.PacketLoss, StartSec: 0.02, DurSec: 0.3, Severity: 0.15},
+			{Kind: fault.Bandwidth, StartSec: 0.1, DurSec: 0.2, Severity: 0.5},
+			{Kind: fault.MonitorDrop, StartSec: 0.01, DurSec: 0.3, Severity: 0.4},
+		}},
+	}
+}
+
+// shardCounts is the equivalence set the acceptance criteria name.
+var shardCounts = []int{1, 2, 4, 8}
+
+// shardFingerprint runs spec at the given shard count under one approach
+// and returns the full determinism fingerprint.
+func shardFingerprint(t *testing.T, spec Spec, approach cluster.Approach, shards int) string {
+	t.Helper()
+	spec.Shards = shards
+	r, err := runOne(spec, approach, true)
+	if err != nil {
+		t.Fatalf("shards=%d: build: %v", shards, err)
+	}
+	if !r.completed {
+		t.Fatalf("shards=%d: measured runs incomplete (rounds %v)", shards, r.runRounds)
+	}
+	return r.fingerprint
+}
+
+// TestShardEquivalencePinned proves the determinism fingerprint of the
+// pinned scenario — faults, live switch and co-tenants included — is
+// byte-identical at shard counts 1, 2, 4 and 8.
+func TestShardEquivalencePinned(t *testing.T) {
+	spec := shardEquivSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ref := shardFingerprint(t, spec, cluster.ATC, shardCounts[0])
+	for _, sc := range shardCounts[1:] {
+		if got := shardFingerprint(t, spec, cluster.ATC, sc); got != ref {
+			t.Errorf("shards=%d: fingerprint diverged from shards=%d at byte %d of %d/%d",
+				sc, shardCounts[0], diffAt(ref, got), len(ref), len(got))
+		}
+	}
+}
+
+// TestShardEquivalenceGenerated extends the pinned check to generated
+// scenarios: several seeds, each forced through every shard count, each
+// a different primary approach. Shard counts above the node count clamp
+// inside the world builder, so small worlds still run (serial-equivalent
+// shape) rather than skip.
+func TestShardEquivalenceGenerated(t *testing.T) {
+	approaches := cluster.ExtendedApproaches()
+	for seed := uint64(1); seed <= 4; seed++ {
+		spec := Generate(seed, Bounded())
+		approach := Primary(spec, approaches)
+		ref := shardFingerprint(t, spec, approach, shardCounts[0])
+		for _, sc := range shardCounts[1:] {
+			if got := shardFingerprint(t, spec, approach, sc); got != ref {
+				t.Errorf("seed=%d shards=%d (%s): fingerprint diverged at byte %d of %d/%d",
+					seed, sc, approach, diffAt(ref, got), len(ref), len(got))
+			}
+		}
+	}
+}

@@ -415,7 +415,6 @@ func Build(spec *Spec) (*Result, error) {
 		res.runs[vc.Name] = s.RunParallel(prof, vms, vc.Rounds, vc.Forever)
 		res.order = append(res.order, vc.Name)
 	}
-	eng := s.World.Eng
 	for i, j := range spec.Jobs {
 		peer := (j.Node + 1) % spec.Nodes
 		if j.PeerNode != nil {
@@ -426,24 +425,24 @@ func Build(spec *Spec) (*Result, error) {
 		case "web":
 			server := s.IndependentVM(label+"-srv", j.Node, 2, vmm.ClassNonParallel)
 			client := s.IndependentVM(label+"-cli", peer, 2, vmm.ClassNonParallel)
-			res.webs = append(res.webs, workload.NewWebJob(eng, client, 0, server, 0,
+			res.webs = append(res.webs, workload.NewWebJob(client, 0, server, 0,
 				20*sim.Millisecond, 2*sim.Millisecond, spec.Seed+uint64(i)))
 		case "ping":
 			client := s.IndependentVM(label+"-cli", peer, 1, vmm.ClassNonParallel)
 			echo := s.IndependentVM(label+"-echo", j.Node, 1, vmm.ClassNonParallel)
-			res.pings = append(res.pings, workload.NewPingJob(eng, client, 0, echo, 0,
+			res.pings = append(res.pings, workload.NewPingJob(client, 0, echo, 0,
 				sim.FromMillis(j.IntervalMs)))
 		case "disk":
 			vm := s.IndependentVM(label, j.Node, 1, vmm.ClassNonParallel)
-			res.disks = append(res.disks, workload.NewDiskJob(eng, vm.VCPU(0)))
+			res.disks = append(res.disks, workload.NewDiskJob(vm.VCPU(0)))
 		case "stream":
 			vm := s.IndependentVM(label, j.Node, 1, vmm.ClassNonParallel)
-			res.streams = append(res.streams, workload.NewStreamJob(eng, vm.VCPU(0)))
+			res.streams = append(res.streams, workload.NewStreamJob(vm.VCPU(0)))
 		case "cpu":
 			vm := s.IndependentVM(label+"-"+j.Name, j.Node, 1, vmm.ClassNonParallel)
 			for _, p := range workload.SPECProfiles() {
 				if p.Name == j.Name {
-					res.cpus = append(res.cpus, workload.NewCPUJob(eng, vm.VCPU(0), p))
+					res.cpus = append(res.cpus, workload.NewCPUJob(vm.VCPU(0), p))
 				}
 			}
 		}

@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// crossEvent is a cross-source event queued for delivery at a future
+// synchronization window. Its key (at, src, seq) is a total order that
+// does not depend on which goroutine produced it first in wall time.
+type crossEvent struct {
+	at  Time
+	src int
+	seq uint64
+	dst int
+	fn  func()
+}
+
+// ShardGroup runs several Engines in lockstep windows of one lookahead
+// each, executing the windows on real goroutines — a conservative
+// parallel discrete-event core.
+//
+// The model: the group hosts a set of source domains (in atcsched, one
+// per simulated node), each assigned to a shard (engine). Domains only
+// influence each other through Post, which guarantees at least one
+// lookahead of delay. Execution proceeds over the absolute window grid
+// [k·L, (k+1)·L): at each window boundary the pending cross events whose
+// timestamps fall inside the next window are sorted by (time, source,
+// per-source sequence) and injected into their destination engines, then
+// every engine with work runs the window concurrently. Because any event
+// Posted during window k lands at or after (k+1)·L, no engine can
+// receive an event in its past, and because injection order is a pure
+// function of virtual time the execution is byte-identical at any shard
+// count — including one.
+type ShardGroup struct {
+	look    Time
+	engines []*Engine
+	// shardOf maps a source domain to its shard; seqs holds the per-source
+	// Post sequence numbers (the deterministic tie-break).
+	shardOf []int
+	seqs    []uint64
+	// outbox collects the events Posted by each shard during a window
+	// segment; only that shard's goroutine appends to its slot.
+	outbox [][]crossEvent
+	// pending holds collected cross events not yet injected.
+	pending []crossEvent
+	// now is the group clock; injected is the window-end watermark up to
+	// which pending events have been injected; winEnd bounds the Post
+	// times the current segment may produce.
+	now      Time
+	injected Time
+	winEnd   Time
+	// halt requests a stop; it is checked at segment boundaries only, so
+	// the stop point is deterministic in virtual time.
+	halt atomic.Bool
+	// scratch avoids per-window allocation of the active-engine list.
+	scratch []*Engine
+}
+
+// NewShardGroup creates shards engines synchronized at the given
+// lookahead (which must be positive — a zero lookahead would serialize
+// every event through the barrier).
+func NewShardGroup(shards int, lookahead Time) *ShardGroup {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: shard group needs at least one shard, got %d", shards))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: shard group needs a positive lookahead, got %v", lookahead))
+	}
+	g := &ShardGroup{look: lookahead}
+	for i := 0; i < shards; i++ {
+		g.engines = append(g.engines, New())
+	}
+	g.outbox = make([][]crossEvent, shards)
+	return g
+}
+
+// Shards returns the number of shards.
+func (g *ShardGroup) Shards() int { return len(g.engines) }
+
+// Engine returns shard i's engine.
+func (g *ShardGroup) Engine(i int) *Engine { return g.engines[i] }
+
+// Lookahead returns the synchronization window length.
+func (g *ShardGroup) Lookahead() Time { return g.look }
+
+// AssignSource registers source domain src on the given shard. Sources
+// must be assigned densely from 0 before the first Post or RunUntil.
+func (g *ShardGroup) AssignSource(src, shard int) {
+	if shard < 0 || shard >= len(g.engines) {
+		panic(fmt.Sprintf("sim: shard %d out of range [0,%d)", shard, len(g.engines)))
+	}
+	for len(g.shardOf) <= src {
+		g.shardOf = append(g.shardOf, 0)
+		g.seqs = append(g.seqs, 0)
+	}
+	g.shardOf[src] = shard
+}
+
+// Post queues fn to run at absolute time at in dst's engine, attributed
+// to source domain src. It must be called from src's shard (or between
+// RunUntil calls) and at must be at least one lookahead ahead of the
+// running window's start — which any caller adding >= Lookahead() of
+// delay to its current engine time satisfies by construction.
+func (g *ShardGroup) Post(src, dst int, at Time, fn func()) {
+	if src < 0 || src >= len(g.shardOf) || dst < 0 || dst >= len(g.shardOf) {
+		panic(fmt.Sprintf("sim: Post with unassigned source/destination %d->%d", src, dst))
+	}
+	if at < g.winEnd {
+		panic(fmt.Sprintf("sim: Post at %v violates lookahead (window ends %v)", at, g.winEnd))
+	}
+	sh := g.shardOf[src]
+	g.outbox[sh] = append(g.outbox[sh], crossEvent{at: at, src: src, seq: g.seqs[src], dst: dst, fn: fn})
+	g.seqs[src]++
+}
+
+// Now returns the group clock (the time every engine has reached at the
+// last barrier).
+func (g *ShardGroup) Now() Time { return g.now }
+
+// Executed sums the event counts of all shards.
+func (g *ShardGroup) Executed() uint64 {
+	var n uint64
+	for _, e := range g.engines {
+		n += e.executed
+	}
+	return n
+}
+
+// Pending sums the queued events of all shards plus undelivered cross
+// events.
+func (g *ShardGroup) Pending() int {
+	n := len(g.pending)
+	for _, e := range g.engines {
+		n += e.Pending()
+	}
+	for _, ob := range g.outbox {
+		n += len(ob)
+	}
+	return n
+}
+
+// RequestStop asks RunUntil to return at the next segment boundary. Safe
+// to call from any shard's callbacks; the stop lands at a point that is
+// a pure function of virtual time, so stopped runs stay deterministic.
+func (g *ShardGroup) RequestStop() { g.halt.Store(true) }
+
+// Resume clears a previous RequestStop.
+func (g *ShardGroup) Resume() { g.halt.Store(false) }
+
+// Stopped reports whether a stop request is in force.
+func (g *ShardGroup) Stopped() bool { return g.halt.Load() }
+
+// collect drains every shard's outbox into pending (barrier-side only).
+func (g *ShardGroup) collect() {
+	for sh := range g.outbox {
+		if len(g.outbox[sh]) > 0 {
+			g.pending = append(g.pending, g.outbox[sh]...)
+			g.outbox[sh] = g.outbox[sh][:0]
+		}
+	}
+}
+
+// inject sorts the pending cross events and schedules those with
+// timestamps before wEnd into their destination engines. Injection in
+// sorted (at, src, seq) order assigns engine sequence numbers — and thus
+// same-instant execution order — deterministically.
+func (g *ShardGroup) inject(wEnd Time) {
+	if len(g.pending) == 0 {
+		return
+	}
+	sort.Slice(g.pending, func(i, j int) bool {
+		a, b := &g.pending[i], &g.pending[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	n := 0
+	for ; n < len(g.pending) && g.pending[n].at < wEnd; n++ {
+		ev := g.pending[n]
+		g.engines[g.shardOf[ev.dst]].At(ev.at, ev.fn)
+	}
+	if n > 0 {
+		g.pending = append(g.pending[:0], g.pending[n:]...)
+	}
+}
+
+// earliest returns the earliest actionable timestamp across all engines
+// and pending cross events (false when everything is drained).
+func (g *ShardGroup) earliest() (Time, bool) {
+	var min Time
+	has := false
+	for _, e := range g.engines {
+		if at, ok := e.NextEventAt(); ok && (!has || at < min) {
+			min, has = at, true
+		}
+	}
+	for i := range g.pending {
+		if at := g.pending[i].at; !has || at < min {
+			min, has = at, true
+		}
+	}
+	return min, has
+}
+
+// runSegment runs every engine to segEnd. Engines with no events in the
+// segment only need their clocks advanced; when more than one engine has
+// real work the segment fans out over goroutines.
+func (g *ShardGroup) runSegment(segEnd Time) {
+	active := g.scratch[:0]
+	for _, e := range g.engines {
+		if at, ok := e.NextEventAt(); ok && at <= segEnd {
+			active = append(active, e)
+		}
+	}
+	g.scratch = active[:0] // retain capacity
+	if len(active) <= 1 {
+		for _, e := range g.engines {
+			e.RunUntil(segEnd)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, e := range active {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			e.RunUntil(segEnd)
+		}(e)
+	}
+	wg.Wait()
+	for _, e := range g.engines {
+		if e.now < segEnd {
+			e.RunUntil(segEnd) // idle engines: clock advance only
+		}
+	}
+}
+
+// RunUntil drives all shards to virtual time t, synchronizing at every
+// window boundary. It returns early when RequestStop was observed at a
+// segment boundary; engine clocks are aligned to Now() on return.
+func (g *ShardGroup) RunUntil(t Time) {
+	for g.now < t && !g.halt.Load() {
+		wEnd := (g.now/g.look + 1) * g.look
+		if g.injected < wEnd {
+			g.inject(wEnd)
+			g.injected = wEnd
+		}
+		segEnd := wEnd
+		if segEnd > t {
+			segEnd = t
+		}
+		if next, ok := g.earliest(); !ok || next > segEnd {
+			// Nothing fires in this segment: skip ahead to the window
+			// holding the next event (or to t) without spinning barriers
+			// through dead time.
+			if !ok || next > t {
+				g.now = t
+			} else {
+				g.now = (next / g.look) * g.look
+			}
+			continue
+		}
+		g.winEnd = wEnd
+		g.runSegment(segEnd)
+		g.now = segEnd
+		g.collect()
+	}
+	for _, e := range g.engines {
+		if e.now < g.now {
+			e.RunUntil(g.now)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFreePoolCapped proves the Event recycle list stays bounded under a
+// cancel-heavy burst (the pool used to grow without limit, pinning the
+// burst's memory for the whole run).
+func TestFreePoolCapped(t *testing.T) {
+	e := New()
+	handles := make([]Handle, 0, 4*maxFreeEvents)
+	for i := 0; i < 4*maxFreeEvents; i++ {
+		handles = append(handles, e.Schedule(Time(i+1), func() {}))
+	}
+	for _, h := range handles {
+		e.Cancel(h)
+	}
+	if len(e.free) > maxFreeEvents {
+		t.Fatalf("free pool grew to %d after cancel burst, cap is %d", len(e.free), maxFreeEvents)
+	}
+	// Fired events respect the cap too.
+	for i := 0; i < 4*maxFreeEvents; i++ {
+		e.Schedule(Time(i+1), func() {})
+	}
+	e.Run()
+	if len(e.free) > maxFreeEvents {
+		t.Fatalf("free pool grew to %d after run, cap is %d", len(e.free), maxFreeEvents)
+	}
+}
+
+// TestSteadyStateAllocs is the alloc-count regression test for the event
+// pool: once warm, a schedule/fire cycle must reuse pooled Events rather
+// than allocate.
+func TestSteadyStateAllocs(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Warm the pool and the heap slice.
+	for i := 0; i < 64; i++ {
+		e.Schedule(1, fn)
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(200, func() {
+		e.Schedule(1, fn)
+		e.Step()
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state schedule+fire allocates %.2f objects per cycle, want 0", avg)
+	}
+}
+
+// shardScript runs a fixed cross-source ping-pong script on a group with
+// the given shard count and source→shard assignment, returning an
+// execution log that must be identical for every sharding.
+func shardScript(t *testing.T, shards int, assign func(src int) int) string {
+	t.Helper()
+	const look = 50 * Microsecond
+	const sources = 4
+	g := NewShardGroup(shards, look)
+	for s := 0; s < sources; s++ {
+		g.AssignSource(s, assign(s))
+	}
+	// One log per source: each source's events run on exactly one shard's
+	// goroutine, so per-source appends are race-free, and the per-source
+	// event order (with timestamps) is the determinism contract.
+	logs := make([][]string, sources)
+	var hop func(src, hops int) func()
+	hop = func(src, hops int) func() {
+		return func() {
+			eng := g.Engine(g.shardOf[src])
+			logs[src] = append(logs[src], fmt.Sprintf("src%d hop%d at=%d", src, hops, eng.Now()))
+			if hops == 0 {
+				return
+			}
+			dst := (src + 1) % sources
+			// Cross-source: at least one lookahead of delay.
+			g.Post(src, dst, eng.Now()+look+Time(src+1)*Microsecond, hop(dst, hops-1))
+			// Source-local follow-up inside the window.
+			eng.Schedule(Time(hops)*Microsecond, func() {
+				logs[src] = append(logs[src], fmt.Sprintf("src%d local%d at=%d", src, hops, eng.Now()))
+			})
+		}
+	}
+	for s := 0; s < sources; s++ {
+		g.Engine(assign(s)).At(Time(s)*Microsecond, hop(s, 6))
+	}
+	g.RunUntil(5 * Millisecond)
+	if got := g.Now(); got != 5*Millisecond {
+		t.Fatalf("group clock %v, want 5ms", got)
+	}
+	out := ""
+	for _, l := range logs {
+		for _, line := range l {
+			out += line + "\n"
+		}
+	}
+	return out
+}
+
+// TestShardGroupDeterministic proves the cross-shard delivery order is a
+// pure function of virtual time: the same script executes identically at
+// shard counts 1, 2 and 4 and under different source placements.
+func TestShardGroupDeterministic(t *testing.T) {
+	ref := shardScript(t, 1, func(int) int { return 0 })
+	cases := []struct {
+		name   string
+		shards int
+		assign func(int) int
+	}{
+		{"2-shards-split", 2, func(s int) int { return s % 2 }},
+		{"2-shards-blocks", 2, func(s int) int { return s / 2 }},
+		{"4-shards", 4, func(s int) int { return s }},
+	}
+	for _, c := range cases {
+		if got := shardScript(t, c.shards, c.assign); got != ref {
+			t.Errorf("%s: execution log diverged from serial reference\nref:\n%s\ngot:\n%s", c.name, ref, got)
+		}
+	}
+}
+
+// TestShardGroupStop proves RequestStop lands at a deterministic segment
+// boundary and Resume continues cleanly.
+func TestShardGroupStop(t *testing.T) {
+	const look = 50 * Microsecond
+	g := NewShardGroup(2, look)
+	g.AssignSource(0, 0)
+	g.AssignSource(1, 1)
+	fired := 0
+	g.Engine(0).At(10*Microsecond, func() {
+		fired++
+		g.RequestStop()
+	})
+	g.Engine(1).At(300*Microsecond, func() { fired++ })
+	g.RunUntil(Millisecond)
+	if !g.Stopped() {
+		t.Fatal("group not stopped after RequestStop")
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d events before stop, want 1", fired)
+	}
+	// The stop point is the end of the segment the request landed in.
+	if g.Now() != look {
+		t.Fatalf("stopped at %v, want the window boundary %v", g.Now(), look)
+	}
+	g.Resume()
+	g.RunUntil(Millisecond)
+	if fired != 2 || g.Now() != Millisecond {
+		t.Fatalf("after resume: fired=%d now=%v, want 2 events and 1ms", fired, g.Now())
+	}
+}
+
+// TestShardGroupLookaheadViolation proves a Post inside the running
+// window is rejected rather than silently reordered.
+func TestShardGroupLookaheadViolation(t *testing.T) {
+	const look = 50 * Microsecond
+	g := NewShardGroup(1, look)
+	g.AssignSource(0, 0)
+	g.AssignSource(1, 0)
+	g.Engine(0).At(Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Post inside the window did not panic")
+			}
+		}()
+		g.Post(0, 1, 2*Microsecond, func() {})
+	})
+	g.RunUntil(100 * Microsecond)
+}

@@ -191,6 +191,12 @@ func (q *eventQueue) siftDown(i int) {
 	ev.index = i
 }
 
+// maxFreeEvents caps the Event recycle list. A burst of cancellations
+// (e.g. a preemption storm cancelling slice timers) would otherwise grow
+// the pool to the burst's size and pin that memory for the whole run;
+// beyond the cap, retired events are simply dropped for the GC.
+const maxFreeEvents = 4096
+
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // New.
 type Engine struct {
@@ -200,8 +206,9 @@ type Engine struct {
 	stopped bool
 	// executed counts events that have fired, for diagnostics.
 	executed uint64
-	// free recycles fired/canceled Event objects; Handle generations make
-	// the recycling invisible (a stale Cancel is a no-op).
+	// free recycles fired/canceled Event objects, capped at maxFreeEvents;
+	// Handle generations make the recycling invisible (a stale Cancel is a
+	// no-op).
 	free []*Event
 }
 
@@ -263,7 +270,9 @@ func (e *Engine) Cancel(h Handle) {
 		e.queue.remove(ev.index)
 	}
 	ev.fn = nil
-	e.free = append(e.free, ev)
+	if len(e.free) < maxFreeEvents {
+		e.free = append(e.free, ev)
+	}
 }
 
 // Step fires the next pending event. It returns false when the queue is
@@ -281,7 +290,9 @@ func (e *Engine) Step() bool {
 		fn := ev.fn
 		ev.fn = nil
 		ev.canceled = true // fired; a late Cancel must be a no-op
-		e.free = append(e.free, ev)
+		if len(e.free) < maxFreeEvents {
+			e.free = append(e.free, ev)
+		}
 		e.executed++
 		fn()
 		return true
@@ -318,6 +329,17 @@ func (e *Engine) RunUntil(t Time) {
 
 // RunFor runs for a span d of virtual time from the current instant.
 func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// NextEventAt returns the timestamp of the earliest pending event, or
+// false when the queue is empty. The shard scheduler uses it to decide
+// which engines have work inside a synchronization window.
+func (e *Engine) NextEventAt() (Time, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
 
 func (e *Engine) peek() *Event {
 	for len(e.queue) > 0 {

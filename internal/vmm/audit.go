@@ -44,17 +44,15 @@ func (w *World) Audit() []error {
 			}
 			busy += p.BusyTime()
 		}
-		for _, vm := range append([]*VM{n.dom0}, n.vms...) {
-			for _, v := range vm.vcpus {
-				cpu += v.CPUTime()
-				if v.state == StateRunning {
-					if _, ok := running[v]; !ok {
-						bad("%s Running but not current on any pcpu", v)
-					}
+		for _, v := range n.vcpus {
+			cpu += v.CPUTime()
+			if v.state == StateRunning {
+				if _, ok := running[v]; !ok {
+					bad("%s Running but not current on any pcpu", v)
 				}
-				if v.state != StateRunning && v.pcpu != nil {
-					bad("%s state %v but pcpu set", v, v.state)
-				}
+			}
+			if v.state != StateRunning && v.pcpu != nil {
+				bad("%s state %v but pcpu set", v, v.state)
 			}
 		}
 		if d := busy - cpu; d > sim.Microsecond || d < -sim.Microsecond {

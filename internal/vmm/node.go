@@ -99,6 +99,16 @@ type Node struct {
 	dom0    *VM
 	backend *Backend
 
+	// vcpus is the flat dispatch-order list of every VCPU hosted on the
+	// node (dom0's first, then guests in creation order); VCPU.local
+	// indexes it. The hot paths iterate and index this slice instead of
+	// chasing the VM pointer graph.
+	vcpus []*VCPU
+
+	// trc is the node's tracer: the world tracer in serial mode, a
+	// node-private ring in sharded mode (nil when detached).
+	trc *Tracer
+
 	// pendingSwap, when non-nil, is a scheduler replacement requested via
 	// SwapScheduler on a started world; it is applied at the next period
 	// boundary so the policy change lines up with an accounting pass.
@@ -129,8 +139,13 @@ func (n *Node) Dom0() *VM { return n.dom0 }
 // Backend returns the node's dom0 backend machinery.
 func (n *Node) Backend() *Backend { return n.backend }
 
-// Engine returns the world's simulation engine.
+// Engine returns the engine driving this node (the world's single
+// engine in serial mode, the node's shard engine in sharded mode).
 func (n *Node) Engine() *sim.Engine { return n.eng }
+
+// VCPUs returns every VCPU hosted on the node, dom0's first, in
+// dispatch order (do not mutate).
+func (n *Node) VCPUs() []*VCPU { return n.vcpus }
 
 // World returns the owning world.
 func (n *Node) World() *World { return n.world }
@@ -165,6 +180,7 @@ func (n *Node) newVM(name string, class VMClass, vcpus int, footprint int64, col
 			id:            n.world.nextVCPUID,
 			vm:            vm,
 			idx:           i,
+			local:         len(n.vcpus),
 			state:         StateIdle,
 			burnRemaining: -1,
 			runSegStart:   -1,
@@ -172,6 +188,7 @@ func (n *Node) newVM(name string, class VMClass, vcpus int, footprint int64, col
 		v.SetCacheProfile(footprint, coldRate)
 		n.world.nextVCPUID++
 		vm.vcpus = append(vm.vcpus, v)
+		n.vcpus = append(n.vcpus, v)
 	}
 	return vm
 }
@@ -301,17 +318,13 @@ func (n *Node) applySwap() {
 		panic(fmt.Sprintf("vmm: factory returned nil scheduler in swap for node %d", n.id))
 	}
 	n.sched = s
-	for _, vm := range append([]*VM{n.dom0}, n.vms...) {
-		for _, v := range vm.vcpus {
-			v.SchedData = nil
-			s.Register(v)
-		}
+	for _, v := range n.vcpus {
+		v.SchedData = nil
+		s.Register(v)
 	}
-	for _, vm := range append([]*VM{n.dom0}, n.vms...) {
-		for _, v := range vm.vcpus {
-			if v.state == StateRunnable {
-				s.Enqueue(v, EnqueueNew)
-			}
+	for _, v := range n.vcpus {
+		if v.state == StateRunnable {
+			s.Enqueue(v, EnqueueNew)
 		}
 	}
 	n.swaps++
@@ -346,20 +359,16 @@ func (n *Node) start() {
 	for _, v := range n.dom0.vcpus {
 		v.proc = &backendProc{b: n.backend}
 	}
-	for _, vm := range append([]*VM{n.dom0}, n.vms...) {
-		for _, v := range vm.vcpus {
-			n.sched.Register(v)
-		}
+	for _, v := range n.vcpus {
+		n.sched.Register(v)
 	}
 	// Initial accounting pass so credits exist before the first dispatch.
 	n.sched.OnPeriod(n)
-	for _, vm := range append([]*VM{n.dom0}, n.vms...) {
-		for _, v := range vm.vcpus {
-			if v.proc != nil {
-				v.state = StateRunnable
-				v.waitStart = n.eng.Now()
-				n.sched.Enqueue(v, EnqueueNew)
-			}
+	for _, v := range n.vcpus {
+		if v.proc != nil {
+			v.state = StateRunnable
+			v.waitStart = n.eng.Now()
+			n.sched.Enqueue(v, EnqueueNew)
 		}
 	}
 	var tick, period func()

@@ -14,8 +14,11 @@ type PCPU struct {
 	node *Node
 	idx  int
 
-	cache   *cachemodel.Cache
-	clients map[*VCPU]*cachemodel.Client
+	cache *cachemodel.Cache
+	// clients holds this PCPU's per-VCPU cache clients, indexed by
+	// VCPU.local — a dense array lookup on the dispatch path where a
+	// map would hash on every context switch.
+	clients []*cachemodel.Client
 
 	cur     *VCPU
 	lastRan *VCPU
@@ -111,10 +114,13 @@ func unstretch(dt sim.Time, f float64) sim.Time {
 }
 
 func (p *PCPU) clientFor(v *VCPU) *cachemodel.Client {
-	cl, ok := p.clients[v]
-	if !ok {
+	for v.local >= len(p.clients) {
+		p.clients = append(p.clients, nil)
+	}
+	cl := p.clients[v.local]
+	if cl == nil {
 		cl = p.cache.NewClient(v.footprint, v.coldRate)
-		p.clients[v] = cl
+		p.clients[v.local] = cl
 	}
 	return cl
 }

@@ -181,9 +181,11 @@ func (t *Tracer) Summary() string {
 	return out
 }
 
-// trace emits a record if a tracer is attached to the world.
+// trace emits a record if a tracer is attached to the world. Records go
+// to the node's own ring (n.trc) so sharded nodes never contend on a
+// shared tracer; in serial mode every node's ring is the world tracer.
 func (n *Node) trace(kind TraceKind, pcpu int, v *VCPU, arg sim.Time) {
-	t := n.world.tracer
+	t := n.trc
 	if t == nil {
 		return
 	}
@@ -198,7 +200,7 @@ func (n *Node) trace(kind TraceKind, pcpu int, v *VCPU, arg sim.Time) {
 
 // traceVM emits a VM-level record (slice changes).
 func (n *Node) traceVM(kind TraceKind, vm *VM, arg sim.Time) {
-	t := n.world.tracer
+	t := n.trc
 	if t == nil {
 		return
 	}

@@ -45,6 +45,10 @@ type VCPU struct {
 	id  int
 	vm  *VM
 	idx int // index within the VM; doubles as the process rank
+	// local is the VCPU's dense index on its node (Node.vcpus); the hot
+	// dispatch paths use it to index flat per-node arrays instead of
+	// chasing pointers or hashing.
+	local int
 
 	proc Process
 	// OnDone is invoked when the process yields ActDone. Returning a

@@ -218,8 +218,8 @@ func (vm *VM) LLCMisses() uint64 {
 	var n uint64
 	for _, p := range vm.node.pcpus {
 		for _, v := range vm.vcpus {
-			if cl, ok := p.clients[v]; ok {
-				n += cl.Misses()
+			if v.local < len(p.clients) && p.clients[v.local] != nil {
+				n += p.clients[v.local].Misses()
 			}
 		}
 	}

@@ -253,15 +253,31 @@ func (p *bspProc) buildIteration() {
 // application with a batch script): it installs the processes, restarts
 // every process when all of them finish a round, and records per-round
 // wall times.
+//
+// The run coordinates from a "home" node — the node hosting the app's
+// first VM. In a serial world this is invisible (every node shares the
+// engine, the historical behaviour is preserved exactly); in a sharded
+// world completion notes and round restarts travel between nodes as
+// cross-node signals with one network lookahead of delay, modelling the
+// coordination RPCs a real batch script would make, and keeping the
+// round protocol independent of how nodes map to shards.
 type ParallelRun struct {
-	App *BSPApp
-	eng *sim.Engine
+	App  *BSPApp
+	home *vmm.Node
 	// TargetRounds is how many rounds to measure; OnTarget fires once
 	// when reached. The run keeps repeating afterwards when Forever is
 	// set (background load in the mixed experiments).
 	TargetRounds int
 	Forever      bool
 	OnTarget     func()
+
+	// nodes groups the app's VMs by hosting node, in first-appearance
+	// order — the restart fan-out unit in sharded mode.
+	nodes []runNode
+	// hook is the per-VCPU OnDone callback (bound once; mode-dependent).
+	hook func(*vmm.VCPU) vmm.Process
+	// noteFn is the home-side completion note (bound once, sharded mode).
+	noteFn func()
 
 	times     []float64
 	startedAt sim.Time
@@ -270,14 +286,24 @@ type ParallelRun struct {
 	fired     bool
 }
 
+// runNode is one node's slice of the app: the indices into App.VMs of
+// the VMs it hosts.
+type runNode struct {
+	node   *vmm.Node
+	vmIdxs []int
+}
+
 // NewParallelRun builds a runner; call Install before World.Start.
-func NewParallelRun(eng *sim.Engine, app *BSPApp, targetRounds int, forever bool, onTarget func()) *ParallelRun {
+func NewParallelRun(app *BSPApp, targetRounds int, forever bool, onTarget func()) *ParallelRun {
 	if targetRounds <= 0 {
 		panic(fmt.Sprintf("workload: target rounds must be positive, got %d", targetRounds))
 	}
+	if app == nil || len(app.VMs) == 0 {
+		panic("workload: parallel run needs an app with at least one VM")
+	}
 	return &ParallelRun{
 		App:          app,
-		eng:          eng,
+		home:         app.VMs[0].Node(),
 		TargetRounds: targetRounds,
 		Forever:      forever,
 		OnTarget:     onTarget,
@@ -286,23 +312,43 @@ func NewParallelRun(eng *sim.Engine, app *BSPApp, targetRounds int, forever bool
 
 // Install sets up round 0's processes on every VCPU of the cluster.
 func (r *ParallelRun) Install() {
+	if r.home.World().Sharded() {
+		r.hook = r.onDoneSharded
+		r.noteFn = r.noteDone
+	} else {
+		r.hook = r.onDone
+	}
+	for vmIdx, vm := range r.App.VMs {
+		n := vm.Node()
+		found := false
+		for i := range r.nodes {
+			if r.nodes[i].node == n {
+				r.nodes[i].vmIdxs = append(r.nodes[i].vmIdxs, vmIdx)
+				found = true
+				break
+			}
+		}
+		if !found {
+			r.nodes = append(r.nodes, runNode{node: n, vmIdxs: []int{vmIdx}})
+		}
+	}
 	r.remaining = r.App.Processes()
-	r.startedAt = r.eng.Now()
+	r.startedAt = r.home.Engine().Now()
 	for vmIdx, vm := range r.App.VMs {
 		for rank, v := range vm.VCPUs() {
-			v.SetProcess(r.App.proc(vmIdx, rank, r.round), r.onDone)
+			v.SetProcess(r.App.proc(vmIdx, rank, r.round), r.hook)
 		}
 	}
 }
 
-// onDone is the per-process completion hook: the last finisher of a
-// round records the time and restarts everyone.
+// onDone is the serial-mode per-process completion hook: the last
+// finisher of a round records the time and restarts everyone inline.
 func (r *ParallelRun) onDone(v *vmm.VCPU) vmm.Process {
 	r.remaining--
 	if r.remaining > 0 {
 		return nil // idle until the round restarts
 	}
-	now := r.eng.Now()
+	now := r.home.Engine().Now()
 	r.times = append(r.times, (now - r.startedAt).Seconds())
 	r.round++
 	if r.round >= r.TargetRounds && !r.fired {
@@ -331,6 +377,63 @@ func (r *ParallelRun) onDone(v *vmm.VCPU) vmm.Process {
 		}
 	}
 	return mine
+}
+
+// onDoneSharded is the sharded-mode completion hook: the finishing VCPU
+// idles immediately and a completion note travels to the home node as a
+// cross-node signal, so the "last finisher" decision happens on one
+// deterministic timeline regardless of sharding.
+func (r *ParallelRun) onDoneSharded(v *vmm.VCPU) vmm.Process {
+	w := r.home.World()
+	w.CrossNodeSignal(v.VM().Node(), r.home, r.noteFn)
+	return nil
+}
+
+// noteDone runs on the home node's engine once per completed process;
+// the last note of a round records the time and fans the restart out to
+// every hosting node.
+func (r *ParallelRun) noteDone() {
+	r.remaining--
+	if r.remaining > 0 {
+		return
+	}
+	now := r.home.Engine().Now()
+	r.times = append(r.times, (now - r.startedAt).Seconds())
+	r.round++
+	if r.round >= r.TargetRounds && !r.fired {
+		r.fired = true
+		if r.OnTarget != nil {
+			r.OnTarget()
+		}
+	}
+	if r.round >= r.TargetRounds && !r.Forever {
+		return
+	}
+	r.startedAt = now
+	r.remaining = r.App.Processes()
+	round := r.round
+	w := r.home.World()
+	for i := range r.nodes {
+		nd := &r.nodes[i]
+		if nd.node == r.home {
+			r.restartOn(nd, round)
+			continue
+		}
+		w.CrossNodeSignal(r.home, nd.node, func() { r.restartOn(nd, round) })
+	}
+}
+
+// restartOn revives one node's share of the app for the given round. By
+// the time it runs, every VCPU it touches has been idle since it sent
+// its completion note, so SetProcess is legal.
+func (r *ParallelRun) restartOn(nd *runNode, round int) {
+	for _, vmIdx := range nd.vmIdxs {
+		vm := r.App.VMs[vmIdx]
+		for rank, u := range vm.VCPUs() {
+			u.SetProcess(r.App.proc(vmIdx, rank, round), r.hook)
+			nd.node.WakeIdle(u)
+		}
+	}
 }
 
 // Rounds returns the number of completed rounds.

@@ -46,7 +46,7 @@ func TestBSPSingleProcessCluster(t *testing.T) {
 	prof := NPB("ep", ClassA)
 	prof.Iterations = 3
 	app := NewBSPApp(prof, []*vmm.VM{vm}, 1)
-	run := NewParallelRun(w.Eng, app, 2, false, nil)
+	run := NewParallelRun(app, 2, false, nil)
 	run.Install()
 	w.Start()
 	w.RunUntil(60 * sim.Second)
@@ -64,7 +64,7 @@ func TestBSPTimesMonotoneRecorded(t *testing.T) {
 	prof := NPB("is", ClassA)
 	prof.Iterations = 3
 	app := NewBSPApp(prof, []*vmm.VM{vm}, 3)
-	run := NewParallelRun(w.Eng, app, 4, false, nil)
+	run := NewParallelRun(app, 4, false, nil)
 	run.Install()
 	w.Start()
 	w.RunUntil(120 * sim.Second)
@@ -162,7 +162,7 @@ func TestIntraVMBarrierSynchronizesRanks(t *testing.T) {
 	if app.Profile.BarrierPollGap == 0 {
 		t.Fatal("poll gap default not applied")
 	}
-	run := NewParallelRun(w.Eng, app, 2, false, nil)
+	run := NewParallelRun(app, 2, false, nil)
 	run.Install()
 	w.Start()
 	w.RunUntil(120 * sim.Second)
@@ -188,7 +188,7 @@ func TestBarrierDeterminism(t *testing.T) {
 		prof.Iterations = 4
 		prof.IntraVMBarrier = true
 		app := NewBSPApp(prof, []*vmm.VM{vm}, 7)
-		r := NewParallelRun(w.Eng, app, 2, false, nil)
+		r := NewParallelRun(app, 2, false, nil)
 		r.Install()
 		w.Start()
 		w.RunUntil(60 * sim.Second)

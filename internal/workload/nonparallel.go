@@ -39,7 +39,8 @@ type CPUJob struct {
 }
 
 // NewCPUJob installs the job on v. Call before World.Start.
-func NewCPUJob(eng *sim.Engine, v *vmm.VCPU, p CPUJobProfile) *CPUJob {
+func NewCPUJob(v *vmm.VCPU, p CPUJobProfile) *CPUJob {
+	eng := v.VM().Node().Engine()
 	j := &CPUJob{Profile: p, eng: eng}
 	v.SetCacheProfile(p.Footprint, p.ColdRate)
 	mk := func() vmm.Process {
@@ -73,7 +74,8 @@ type StreamJob struct {
 }
 
 // NewStreamJob installs the job on v.
-func NewStreamJob(eng *sim.Engine, v *vmm.VCPU) *StreamJob {
+func NewStreamJob(v *vmm.VCPU) *StreamJob {
+	eng := v.VM().Node().Engine()
 	j := &StreamJob{eng: eng, BytesPerRound: 400e6} // 400 MB per 100 ms round warm
 	v.SetCacheProfile(1<<20, 0.88)
 	work := 100 * sim.Millisecond
@@ -110,7 +112,8 @@ type DiskJob struct {
 }
 
 // NewDiskJob installs the job on v.
-func NewDiskJob(eng *sim.Engine, v *vmm.VCPU) *DiskJob {
+func NewDiskJob(v *vmm.VCPU) *DiskJob {
+	eng := v.VM().Node().Engine()
 	j := &DiskJob{eng: eng, start: eng.Now(), reqSize: 1 << 20}
 	v.SetCacheProfile(64<<10, 0.9)
 	mk := func() vmm.Process {
@@ -159,7 +162,8 @@ type PingJob struct {
 
 // NewPingJob installs a client process on client.VCPU(clientRank) and an
 // echo process on echo.VCPU(echoRank). Interval is the probe spacing.
-func NewPingJob(eng *sim.Engine, client *vmm.VM, clientRank int, echo *vmm.VM, echoRank int, interval sim.Time) *PingJob {
+func NewPingJob(client *vmm.VM, clientRank int, echo *vmm.VM, echoRank int, interval sim.Time) *PingJob {
+	eng := client.Node().Engine()
 	j := &PingJob{eng: eng, p95: metrics.NewP2Quantile(0.95), p99: metrics.NewP2Quantile(0.99)}
 	client.VCPU(clientRank).SetCacheProfile(64<<10, 0.95)
 	echo.VCPU(echoRank).SetCacheProfile(64<<10, 0.95)
@@ -228,7 +232,8 @@ type WebJob struct {
 // NewWebJob installs the server on server.VCPU(serverRank) and the load
 // generator on client.VCPU(clientRank). thinkMean is the client's mean
 // think time; service is the server's per-request compute.
-func NewWebJob(eng *sim.Engine, client *vmm.VM, clientRank int, server *vmm.VM, serverRank int, thinkMean, service sim.Time, seed uint64) *WebJob {
+func NewWebJob(client *vmm.VM, clientRank int, server *vmm.VM, serverRank int, thinkMean, service sim.Time, seed uint64) *WebJob {
+	eng := client.Node().Engine()
 	j := &WebJob{eng: eng, p95: metrics.NewP2Quantile(0.95), p99: metrics.NewP2Quantile(0.99)}
 	server.LatencySensitive = true
 	server.VCPU(serverRank).SetCacheProfile(512<<10, 0.8)

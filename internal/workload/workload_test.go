@@ -123,7 +123,7 @@ func TestBSPAppCompletesRounds(t *testing.T) {
 		t.Fatalf("processes = %d", app.Processes())
 	}
 	done := false
-	run := NewParallelRun(w.Eng, app, 3, false, func() { done = true })
+	run := NewParallelRun(app, 3, false, func() { done = true })
 	run.Install()
 	w.Start()
 	w.RunUntil(30 * sim.Second)
@@ -158,7 +158,7 @@ func TestBSPForeverKeepsRunning(t *testing.T) {
 	prof := NPB("is", ClassA)
 	prof.Iterations = 3
 	app := NewBSPApp(prof, vms, 7)
-	run := NewParallelRun(w.Eng, app, 2, true, nil)
+	run := NewParallelRun(app, 2, true, nil)
 	run.Install()
 	w.Start()
 	w.RunUntil(10 * sim.Second)
@@ -193,7 +193,7 @@ func TestBSPSpinAndExecTimeShrinkWithShorterSlices(t *testing.T) {
 		prof := NPB("lu", ClassA)
 		prof.Iterations = 100
 		app := NewBSPApp(prof, vms, 11)
-		run := NewParallelRun(w.Eng, app, 2, false, func() { w.Stop() })
+		run := NewParallelRun(app, 2, false, func() { w.Stop() })
 		run.Install()
 		w.Start()
 		w.RunUntil(240 * sim.Second)
@@ -212,7 +212,7 @@ func TestBSPSpinAndExecTimeShrinkWithShorterSlices(t *testing.T) {
 func TestCPUJobRecordsRounds(t *testing.T) {
 	w := smallWorld(t, 1, 1, 30*sim.Millisecond)
 	vm := w.Node(0).NewVM("spec", vmm.ClassNonParallel, 1, 0, 1)
-	job := NewCPUJob(w.Eng, vm.VCPU(0), SPECProfiles()[0])
+	job := NewCPUJob(vm.VCPU(0), SPECProfiles()[0])
 	w.Start()
 	w.RunUntil(3 * sim.Second)
 	if job.Rounds() < 3 {
@@ -228,7 +228,7 @@ func TestCPUJobRecordsRounds(t *testing.T) {
 func TestStreamJobBandwidth(t *testing.T) {
 	w := smallWorld(t, 1, 1, 30*sim.Millisecond)
 	vm := w.Node(0).NewVM("stream", vmm.ClassNonParallel, 1, 0, 1)
-	job := NewStreamJob(w.Eng, vm.VCPU(0))
+	job := NewStreamJob(vm.VCPU(0))
 	w.Start()
 	w.RunUntil(2 * sim.Second)
 	if job.Rounds() < 5 {
@@ -244,7 +244,7 @@ func TestStreamJobBandwidth(t *testing.T) {
 func TestDiskJobThroughput(t *testing.T) {
 	w := smallWorld(t, 1, 1, 30*sim.Millisecond)
 	vm := w.Node(0).NewVM("bonnie", vmm.ClassNonParallel, 1, 0, 1)
-	job := NewDiskJob(w.Eng, vm.VCPU(0))
+	job := NewDiskJob(vm.VCPU(0))
 	w.Start()
 	w.RunUntil(5 * sim.Second)
 	if job.Requests() < 100 {
@@ -260,7 +260,7 @@ func TestPingJobRTT(t *testing.T) {
 	w := smallWorld(t, 2, 1, 30*sim.Millisecond)
 	client := w.Node(0).NewVM("pingc", vmm.ClassNonParallel, 1, 0, 1)
 	echo := w.Node(1).NewVM("pinge", vmm.ClassNonParallel, 1, 0, 1)
-	job := NewPingJob(w.Eng, client, 0, echo, 0, 10*sim.Millisecond)
+	job := NewPingJob(client, 0, echo, 0, 10*sim.Millisecond)
 	w.Start()
 	w.RunUntil(3 * sim.Second)
 	if job.Probes() < 100 {
@@ -284,7 +284,7 @@ func TestWebJobResponseTime(t *testing.T) {
 	w := smallWorld(t, 2, 1, 30*sim.Millisecond)
 	client := w.Node(0).NewVM("httperf", vmm.ClassNonParallel, 1, 0, 1)
 	server := w.Node(1).NewVM("apache", vmm.ClassNonParallel, 1, 0, 1)
-	job := NewWebJob(w.Eng, client, 0, server, 0, 20*sim.Millisecond, 2*sim.Millisecond, 5)
+	job := NewWebJob(client, 0, server, 0, 20*sim.Millisecond, 2*sim.Millisecond, 5)
 	w.Start()
 	w.RunUntil(5 * sim.Second)
 	if job.Requests() < 100 {
@@ -325,5 +325,5 @@ func TestBSPAppValidation(t *testing.T) {
 			t.Error("zero rounds accepted")
 		}
 	}()
-	NewParallelRun(w.Eng, nil, 0, false, nil)
+	NewParallelRun(nil, 0, false, nil)
 }
