@@ -20,6 +20,7 @@ import (
 	"atcsched/internal/rng"
 	"atcsched/internal/sched/atc"
 	"atcsched/internal/sim"
+	"atcsched/internal/telemetry"
 	"atcsched/internal/workload"
 )
 
@@ -137,6 +138,54 @@ func BenchmarkSimulatorCR(b *testing.B) {
 func BenchmarkSimulatorATC(b *testing.B) {
 	mean := benchScenario(b, cluster.DefaultConfig(2, cluster.ATC), "lu")
 	b.ReportMetric(mean, "simexec_s")
+}
+
+// benchTelemetry is benchScenario's type-A workload with the telemetry
+// plane attached or detached, reporting ns/event so the disabled cost
+// compares directly against the recorded pre-telemetry baseline.
+func benchTelemetry(b *testing.B, instrumented bool) {
+	b.Helper()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.DefaultConfig(2, cluster.CR)
+		cfg.Seed = uint64(i + 1)
+		if instrumented {
+			cfg.Telemetry = telemetry.New(telemetry.Options{})
+		}
+		s, err := cluster.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof := workload.NPB("lu", workload.ClassB)
+		prof.Iterations = 8
+		for vc := 0; vc < 4; vc++ {
+			vms := s.VirtualCluster(fmt.Sprintf("vc%d", vc), cfg.Nodes, 8, nil)
+			s.RunParallel(prof, vms, 2, false)
+		}
+		if !s.Go(1200 * sim.Second) {
+			b.Fatal("horizon exceeded")
+		}
+		if instrumented {
+			s.FinalizeTelemetry()
+		}
+		events += s.World.Eng.Executed()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+	}
+}
+
+// BenchmarkTelemetryDisabledOverhead pins the telemetry plane's
+// determinism-path tax: with no plane attached (the default for every
+// measurement run) the only additions on the hot path are two counter
+// increments, one slice store and nil checks, so ns/event must stay
+// within ~2% of the pre-telemetry BenchmarkSimulatorCR baseline
+// (BENCH_parallel.json). The enabled variant quantifies the full
+// instrumented cost for comparison.
+func BenchmarkTelemetryDisabledOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) { benchTelemetry(b, false) })
+	b.Run("enabled", func(b *testing.B) { benchTelemetry(b, true) })
 }
 
 // --- Ablations -----------------------------------------------------------

@@ -15,6 +15,15 @@
 //	                 the daemon samples real spinlock latencies from the
 //	                 simulator and actuates its schedulers' slices
 //
+// Observability:
+//
+//	-listen addr     serve Prometheus text exposition on /metrics and a
+//	                 JSON state snapshot on /debug/atc; the process keeps
+//	                 serving after the control loop ends until SIGINT or
+//	                 SIGTERM arrives (clean shutdown either way)
+//	-timeline f.json sim: write a Chrome/Perfetto trace-event timeline
+//	-jsonl f.jsonl   sim: write the telemetry time-series dump
+//
 // Example:
 //
 //	printf '1 2000 1\n--\n1 4000 1\n--\n' | atcd -backend stdio
@@ -22,30 +31,61 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"atcsched/internal/core"
 	"atcsched/internal/daemon"
 	"atcsched/internal/sim"
+	"atcsched/internal/telemetry"
+	"atcsched/internal/vmm"
 	"atcsched/internal/workload"
 )
 
+// timelineTraceCap bounds the scheduling tracer attached for -timeline.
+const timelineTraceCap = 200000
+
+// listenReady, when set (tests), receives the bound listen address once
+// the HTTP surface is up.
+var listenReady func(addr string)
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "atcd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with its environment injected, so tests drive the whole
+// daemon — flags, signals, HTTP surface, artifact flush — in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("atcd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		backend   = flag.String("backend", "demo", "demo | stdio | sim")
-		defSlice  = flag.Float64("default", 30, "default slice in ms")
-		threshold = flag.Float64("min", 0.3, "minimum slice threshold in ms")
-		alpha     = flag.Float64("alpha", 6, "coarse adjustment step in ms")
-		beta      = flag.Float64("beta", 0.3, "fine adjustment step in ms")
-		periods   = flag.Int("periods", 40, "demo: number of control periods")
-		swap      = flag.String("swap", "", `sim: scheduled policy switches "period:node:KIND[,...]" (node -1 = all), e.g. "10:-1:ATC"`)
+		backend   = fs.String("backend", "demo", "demo | stdio | sim")
+		defSlice  = fs.Float64("default", 30, "default slice in ms")
+		threshold = fs.Float64("min", 0.3, "minimum slice threshold in ms")
+		alpha     = fs.Float64("alpha", 6, "coarse adjustment step in ms")
+		beta      = fs.Float64("beta", 0.3, "fine adjustment step in ms")
+		periods   = fs.Int("periods", 40, "demo/sim: number of control periods")
+		swap      = fs.String("swap", "", `sim: scheduled policy switches "period:node:KIND[,...]" (node -1 = all), e.g. "10:-1:ATC"`)
+		listen    = fs.String("listen", "", "serve /metrics and /debug/atc on this address (e.g. :9090)")
+		timeline  = fs.String("timeline", "", "sim: write a Chrome/Perfetto timeline to this file at exit")
+		jsonl     = fs.String("jsonl", "", "sim: write the telemetry JSONL dump to this file at exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := core.Config{
 		Default:      sim.FromMillis(*defSlice),
@@ -55,11 +95,18 @@ func main() {
 		Window:       3,
 	}
 	if err := cfg.Validate(); err != nil {
-		fatal(err)
+		return err
+	}
+
+	// Any observability output needs the telemetry plane; the daemon and
+	// (for -backend sim) the simulated world publish into it.
+	var plane *telemetry.Plane
+	if *listen != "" || *timeline != "" || *jsonl != "" {
+		plane = telemetry.New(telemetry.Options{})
 	}
 
 	var src daemon.Source
-	var act daemon.Actuator = daemon.WriterActuator{W: os.Stdout}
+	var act daemon.Actuator = daemon.WriterActuator{W: stdout}
 	var sb *daemon.SimBackend
 	switch *backend {
 	case "demo":
@@ -69,37 +116,147 @@ func main() {
 	case "sim":
 		switches, err := parseSwitches(*swap)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		sb, err = daemon.NewSimBackend(daemon.SimBackendConfig{
 			Class:      workload.ClassB,
 			MaxPeriods: *periods,
 			Switches:   switches,
+			Telemetry:  plane,
 		})
 		if err != nil {
-			fatal(err)
+			return err
+		}
+		if *timeline != "" {
+			// The timeline merges scheduling events with telemetry spans;
+			// the world's clock has not advanced yet, so attaching the
+			// tracer here still captures the whole run.
+			sb.World.SetTracer(vmm.NewTracer(timelineTraceCap))
 		}
 		src, act = sb, sb
 	default:
-		fatal(fmt.Errorf("unknown backend %q", *backend))
+		return fmt.Errorf("unknown backend %q", *backend)
 	}
 	d := daemon.New(cfg, src, act)
-	if err := d.Run(); err != nil && !daemon.IsDone(err) {
-		fatal(err)
+	if plane != nil {
+		var clock func() sim.Time
+		if sb != nil {
+			clock = func() sim.Time { return sb.World.Eng.Now() }
+		}
+		d.SetTelemetry(plane.Global(), clock)
 	}
-	fmt.Fprintf(os.Stderr, "atcd: %d control periods executed\n", d.Periods())
+
+	// SIGINT/SIGTERM stop the control loop at its next step boundary and,
+	// once the loop has returned and artifacts are flushed, end the
+	// process cleanly (the HTTP surface shuts down gracefully).
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	loopDone := make(chan struct{})
+	interrupted := make(chan struct{})
+	go func() {
+		select {
+		case <-sigc:
+			close(interrupted)
+			d.Stop()
+		case <-loopDone:
+		}
+	}()
+
+	var srv *http.Server
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		srv = &http.Server{Handler: telemetry.Handler(plane.Snapshot, func() map[string]any {
+			st := d.Stats()
+			return map[string]any{
+				"periods":         d.Periods(),
+				"retries":         st.Retries,
+				"dropped_periods": st.DroppedPeriods,
+				"stale_samples":   st.StaleSamples,
+				"degraded":        st.Degraded,
+			}
+		})}
+		fmt.Fprintf(stderr, "atcd: serving telemetry on http://%s\n", ln.Addr())
+		if listenReady != nil {
+			listenReady(ln.Addr().String())
+		}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+	}
+
+	runErr := d.Run()
+	close(loopDone)
+	if runErr != nil && !daemon.IsDone(runErr) {
+		return runErr
+	}
+	fmt.Fprintf(stderr, "atcd: %d control periods executed\n", d.Periods())
 	if sb != nil {
+		sb.FinalizeTelemetry(plane)
 		var rounds int
 		for _, r := range sb.Runs() {
 			rounds += r.Rounds()
 		}
-		fmt.Printf("sim backend: %d application rounds completed in %v of virtual time\n",
+		fmt.Fprintf(stdout, "sim backend: %d application rounds completed in %v of virtual time\n",
 			rounds, sb.World.Eng.Now())
-		for _, vm := range sb.World.Node(0).VMs() {
-			fmt.Printf("  node0 %s latency-driven slice converged (see trace above)\n", vm.Name())
-			break
+	}
+	if err := flushArtifacts(*timeline, *jsonl, plane, sb); err != nil {
+		return err
+	}
+	if srv != nil {
+		// Keep answering scrapes until asked to stop, then drain.
+		select {
+		case <-interrupted:
+		case <-sigc:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stderr, "atcd: telemetry server closed")
+	}
+	return nil
+}
+
+// flushArtifacts writes the -timeline and -jsonl outputs (no-ops when
+// the flags are unset).
+func flushArtifacts(timeline, jsonl string, plane *telemetry.Plane, sb *daemon.SimBackend) error {
+	if timeline != "" {
+		var events []telemetry.SchedEvent
+		if sb != nil {
+			events = sb.World.TelemetryEvents()
+		}
+		if err := writeFileWith(timeline, func(w io.Writer) error {
+			return telemetry.WriteTimeline(w, events, plane.Snapshot())
+		}); err != nil {
+			return fmt.Errorf("timeline: %w", err)
 		}
 	}
+	if jsonl != "" {
+		if err := writeFileWith(jsonl, func(w io.Writer) error {
+			return telemetry.WriteJSONL(w, plane.Snapshot())
+		}); err != nil {
+			return fmt.Errorf("jsonl: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeFileWith streams fn's output into path.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseSwitches parses the -swap flag: comma-separated
@@ -112,15 +269,15 @@ func parseSwitches(s string) ([]daemon.PolicySwitch, error) {
 	for _, part := range strings.Split(s, ",") {
 		f := strings.Split(strings.TrimSpace(part), ":")
 		if len(f) != 3 {
-			return nil, fmt.Errorf("atcd: bad -swap entry %q (want period:node:KIND)", part)
+			return nil, fmt.Errorf("bad -swap entry %q (want period:node:KIND)", part)
 		}
 		period, err := strconv.Atoi(f[0])
 		if err != nil {
-			return nil, fmt.Errorf("atcd: bad -swap period %q", f[0])
+			return nil, fmt.Errorf("bad -swap period %q", f[0])
 		}
 		node, err := strconv.Atoi(f[1])
 		if err != nil {
-			return nil, fmt.Errorf("atcd: bad -swap node %q", f[1])
+			return nil, fmt.Errorf("bad -swap node %q", f[1])
 		}
 		out = append(out, daemon.PolicySwitch{AtPeriod: period, Node: node, Kind: f[2]})
 	}
@@ -167,15 +324,15 @@ func (s *stdioSource) Sample() ([]daemon.VMSample, error) {
 		}
 		f := strings.Fields(line)
 		if len(f) < 3 {
-			return nil, fmt.Errorf("atcd: bad input line %q (want: id latency-us parallel [admin-us])", line)
+			return nil, fmt.Errorf("bad input line %q (want: id latency-us parallel [admin-us])", line)
 		}
 		id, err := strconv.Atoi(f[0])
 		if err != nil {
-			return nil, fmt.Errorf("atcd: bad vm id %q", f[0])
+			return nil, fmt.Errorf("bad vm id %q", f[0])
 		}
 		latUS, err := strconv.ParseFloat(f[1], 64)
 		if err != nil || latUS < 0 {
-			return nil, fmt.Errorf("atcd: bad latency %q", f[1])
+			return nil, fmt.Errorf("bad latency %q", f[1])
 		}
 		par := f[2] == "1" || strings.EqualFold(f[2], "true")
 		vs := daemon.VMSample{
@@ -186,7 +343,7 @@ func (s *stdioSource) Sample() ([]daemon.VMSample, error) {
 		if len(f) >= 4 {
 			adminUS, err := strconv.ParseFloat(f[3], 64)
 			if err != nil || adminUS < 0 {
-				return nil, fmt.Errorf("atcd: bad admin slice %q", f[3])
+				return nil, fmt.Errorf("bad admin slice %q", f[3])
 			}
 			vs.AdminSlice = sim.Time(adminUS * float64(sim.Microsecond))
 		}
@@ -196,9 +353,4 @@ func (s *stdioSource) Sample() ([]daemon.VMSample, error) {
 		return out, nil
 	}
 	return nil, io.EOF
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "atcd:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestLiveTelemetrySurface drives a full atcd run in-process: sim
+// backend, HTTP telemetry surface, timeline and JSONL artifacts, and
+// signal-driven shutdown. It is the acceptance check that a live atcd
+// answers /metrics with per-node spin-latency and controller-decision
+// series.
+func TestLiveTelemetrySurface(t *testing.T) {
+	dir := t.TempDir()
+	timeline := filepath.Join(dir, "timeline.json")
+	jsonl := filepath.Join(dir, "series.jsonl")
+
+	addrc := make(chan string, 1)
+	listenReady = func(addr string) { addrc <- addr }
+	defer func() { listenReady = nil }()
+
+	var stdout, stderr bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-backend", "sim", "-periods", "60",
+			"-listen", "127.0.0.1:0",
+			"-timeline", timeline, "-jsonl", jsonl,
+		}, &stdout, &stderr)
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v\n%s", err, stderr.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the listener")
+	}
+
+	// The surface stays up after the control loop ends, so polling until
+	// the run's series appear observes a complete scrape deterministically.
+	metrics := pollMetrics(t, addr, done, &stderr)
+	for _, want := range []string{
+		"atc_vm_spin_latency_ns_last{node=", // per-node spin latency
+		"atc_daemon_decision_apply_total",   // controller decisions
+		"atc_daemon_slice_ns_last{vm=",      // per-VM slice series
+		"atc_sched_dispatches_total{node=",  // per-node scheduler counters
+		"atc_spin_latency_bucket{node=",     // spin-latency histogram
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q\n%s", want, metrics)
+		}
+	}
+
+	// /debug/atc must be a JSON snapshot with a daemon summary.
+	resp, err := http.Get("http://" + addr + "/debug/atc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var dbg struct {
+		Summary map[string]any `json:"summary"`
+	}
+	if err := json.Unmarshal(body, &dbg); err != nil {
+		t.Fatalf("/debug/atc is not JSON: %v", err)
+	}
+	if p, ok := dbg.Summary["periods"].(float64); !ok || p <= 0 {
+		t.Fatalf("/debug/atc summary has no committed periods: %v", dbg.Summary)
+	}
+
+	// SIGINT must shut the server down and let run return cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run failed: %v\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not exit after SIGINT")
+	}
+	if !strings.Contains(stderr.String(), "telemetry server closed") {
+		t.Errorf("shutdown did not report closing the server:\n%s", stderr.String())
+	}
+
+	// The timeline artifact must parse as trace-event JSON and carry
+	// both scheduling slices and telemetry spans.
+	raw, err := os.ReadFile(timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("timeline is not trace-event JSON: %v", err)
+	}
+	var sched, spin, decision bool
+	for _, ev := range file.TraceEvents {
+		switch {
+		case ev.Ph == "X" && strings.Contains(ev.Name, "/"):
+			sched = true
+		case ev.Name == "spin":
+			spin = true
+		case ev.Name == "decision":
+			decision = true
+		}
+	}
+	if !sched || !spin || !decision {
+		t.Errorf("timeline lacks expected events: sched=%v spin=%v decision=%v", sched, spin, decision)
+	}
+
+	// The JSONL artifact must be line-parseable with a meta header.
+	jraw, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(jraw), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("jsonl dump has %d lines", len(lines))
+	}
+	for i, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("jsonl line %d is not JSON: %v", i, err)
+		}
+		if i == 0 && m["type"] != "meta" {
+			t.Fatalf("jsonl does not start with a meta line: %s", ln)
+		}
+	}
+}
+
+// pollMetrics scrapes /metrics until the daemon's committed series are
+// visible (the loop may still be mid-run on the first scrapes).
+func pollMetrics(t *testing.T, addr string, done chan error, stderr *bytes.Buffer) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var last string
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-done:
+			t.Fatalf("run exited during scrape: %v\n%s", err, stderr.String())
+		default:
+		}
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+				t.Fatalf("/metrics content type %q", ct)
+			}
+			last = string(body)
+			// sched_dispatches totals land at finalization, so their
+			// presence means the scrape covers the whole run.
+			if strings.Contains(last, "atc_daemon_decision_apply_total") &&
+				strings.Contains(last, "atc_vm_spin_latency_ns_last") &&
+				strings.Contains(last, "atc_sched_dispatches_total") {
+				return last
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("metrics never showed the run's series; last scrape:\n%s", last)
+	return ""
+}
+
+// TestDemoBackend keeps the original demo path working through run().
+func TestDemoBackend(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-backend", "demo", "-periods", "12"}, &stdout, &stderr); err != nil {
+		t.Fatalf("demo run failed: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "vm1 ") {
+		t.Errorf("demo produced no actuation lines:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "12 control periods executed") {
+		t.Errorf("missing period summary:\n%s", stderr.String())
+	}
+}
+
+// TestBadFlags proves flag errors surface as errors, not exits.
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-backend", "nope"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown backend did not error")
+	}
+	if err := run([]string{"-backend", "sim", "-swap", "garbage"}, &stdout, &stderr); err == nil {
+		t.Fatal("bad -swap did not error")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"atcsched/internal/sched/atc"
 	"atcsched/internal/sched/registry"
 	"atcsched/internal/sim"
+	"atcsched/internal/telemetry"
 	"atcsched/internal/vmm"
 	"atcsched/internal/workload"
 )
@@ -56,6 +57,8 @@ func run(args []string, stdout io.Writer) error {
 		hogs     = fs.Int("hogs", 0, "CPU-hog non-parallel VMs per node")
 		trace    = fs.String("trace", "", "write a scheduling trace: 'summary', 'text:<file>' or 'csv:<file>'")
 		traceCap = fs.Int("tracecap", 200000, "max trace records retained (ring)")
+		timeline = fs.String("timeline", "", "write a Chrome/Perfetto trace-event timeline to this file")
+		jsonlOut = fs.String("jsonl", "", "write the telemetry time-series dump (JSON Lines) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +67,14 @@ func run(args []string, stdout io.Writer) error {
 	if *list {
 		return listSchedulers(stdout)
 	}
+
+	// Either artifact flag attaches the telemetry plane; the timeline
+	// additionally needs the scheduling tracer for its PCPU lanes.
+	var plane *telemetry.Plane
+	if *timeline != "" || *jsonlOut != "" {
+		plane = telemetry.New(telemetry.Options{})
+	}
+	needTracer := func() bool { return *trace != "" || *timeline != "" }
 
 	if *specFile != "" {
 		f, err := os.Open(*specFile)
@@ -79,8 +90,12 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if plane != nil {
+			res.Scenario.Cfg.Telemetry = plane
+			res.Scenario.World.SetTelemetry(plane)
+		}
 		var tracer *vmm.Tracer
-		if *trace != "" {
+		if needTracer() {
 			tracer = vmm.NewTracer(*traceCap)
 			res.Scenario.World.SetTracer(tracer)
 		}
@@ -89,7 +104,13 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(stdout, table.String())
-		if tracer != nil {
+		if plane != nil {
+			res.Scenario.FinalizeTelemetry()
+			if err := writeTelemetryArtifacts(*timeline, *jsonlOut, res.Scenario.World, plane); err != nil {
+				return err
+			}
+		}
+		if *trace != "" {
 			return emitTrace(stdout, tracer, *trace)
 		}
 		return nil
@@ -112,12 +133,13 @@ func run(args []string, stdout io.Writer) error {
 	if *slice > 0 {
 		cfg.Sched.FixedSlice = sim.FromMillis(*slice)
 	}
+	cfg.Telemetry = plane
 	s, err := cluster.New(cfg)
 	if err != nil {
 		return err
 	}
 	var tracer *vmm.Tracer
-	if *trace != "" {
+	if needTracer() {
 		tracer = vmm.NewTracer(*traceCap)
 		s.World.SetTracer(tracer)
 	}
@@ -167,8 +189,46 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "node0 %s: final ATC slice %v\n", vm.Name(), a.CurrentSlice(vm))
 		}
 	}
-	if tracer != nil {
+	if plane != nil {
+		s.FinalizeTelemetry()
+		if err := writeTelemetryArtifacts(*timeline, *jsonlOut, s.World, plane); err != nil {
+			return err
+		}
+	}
+	if *trace != "" {
 		return emitTrace(stdout, tracer, *trace)
+	}
+	return nil
+}
+
+// writeTelemetryArtifacts flushes the -timeline and -jsonl outputs
+// (empty paths are skipped).
+func writeTelemetryArtifacts(timeline, jsonl string, w *vmm.World, plane *telemetry.Plane) error {
+	if timeline != "" {
+		f, err := os.Create(timeline)
+		if err != nil {
+			return err
+		}
+		err = telemetry.WriteTimeline(f, w.TelemetryEvents(), plane.Snapshot())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("timeline: %w", err)
+		}
+	}
+	if jsonl != "" {
+		f, err := os.Create(jsonl)
+		if err != nil {
+			return err
+		}
+		err = telemetry.WriteJSONL(f, plane.Snapshot())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("jsonl: %w", err)
+		}
 	}
 	return nil
 }

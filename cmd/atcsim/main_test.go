@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -107,6 +108,80 @@ func TestUnknownSchedulerFlag(t *testing.T) {
 	for _, want := range []string{`"BOGUS"`, "valid:", "CR", "ATC"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestRunTimelineArtifacts proves -timeline and -jsonl produce parseable
+// artifacts on both the flag-built and spec-file paths.
+func TestRunTimelineArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tl := filepath.Join(dir, "tl.json")
+	jl := filepath.Join(dir, "series.jsonl")
+	var out strings.Builder
+	err := run([]string{
+		"-nodes", "2", "-vcs", "2", "-vcpus", "2", "-rounds", "1",
+		"-kernel", "ep", "-class", "A", "-sched", "ATC", "-horizon", "120",
+		"-timeline", tl, "-jsonl", jl,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	assertTimeline(t, tl)
+	assertJSONL(t, jl)
+
+	spec := filepath.Join(dir, "tiny.json")
+	if err := os.WriteFile(spec, []byte(
+		`{"nodes":1,"horizonSec":60,"virtualClusters":[{"vms":1,"vcpus":2,"kernel":"ep","class":"A","rounds":1}]}`,
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl2 := filepath.Join(dir, "tl2.json")
+	jl2 := filepath.Join(dir, "series2.jsonl")
+	out.Reset()
+	if err := run([]string{"-f", spec, "-timeline", tl2, "-jsonl", jl2}, &out); err != nil {
+		t.Fatalf("run -f: %v", err)
+	}
+	assertTimeline(t, tl2)
+	assertJSONL(t, jl2)
+}
+
+// assertTimeline checks the file parses as trace-event JSON with events.
+func assertTimeline(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("%s is not trace-event JSON: %v", path, err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatalf("%s has no events", path)
+	}
+}
+
+// assertJSONL checks every line parses and the header is a meta line.
+func assertJSONL(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("%s has only %d lines", path, len(lines))
+	}
+	for i, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("%s line %d is not JSON: %v", path, i, err)
+		}
+		if i == 0 && m["type"] != "meta" {
+			t.Fatalf("%s does not start with a meta line: %s", path, ln)
 		}
 	}
 }

@@ -54,6 +54,8 @@ func run(args []string, stdout io.Writer) error {
 		memprofile   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		blockprofile = fs.String("blockprofile", "", "write a goroutine blocking profile to this file on exit (shard barrier waits)")
 		mutexprofile = fs.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+		timelineOut  = fs.String("timeline", "", "run the instrumented fault showcase and write a Chrome/Perfetto timeline to this file")
+		jsonlOut     = fs.String("jsonl", "", "run the instrumented fault showcase and write its telemetry JSONL dump to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,6 +106,15 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *timelineOut != "" || *jsonlOut != "" {
+		if err := runTimeline(stdout, sc, *seed, *timelineOut, *jsonlOut); err != nil {
+			return err
+		}
+		// The showcase can run standalone or alongside selected experiments.
+		if *expID == "" && !*all {
+			return nil
+		}
+	}
 	var exps []experiment.Experiment
 	switch {
 	case *all:
@@ -151,6 +162,41 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "== total: %d experiment(s), %d cell(s) in %v (workers=%d)\n",
 		len(exps), runner.Cells(), time.Since(runStart).Round(time.Millisecond), runner.DefaultWorkers())
+	return nil
+}
+
+// runTimeline executes the instrumented fault showcase and writes the
+// requested telemetry artifacts.
+func runTimeline(stdout io.Writer, sc experiment.Scale, seed uint64, timeline, jsonl string) error {
+	start := time.Now()
+	res, err := experiment.Timeline(sc, seed)
+	if err != nil {
+		return err
+	}
+	write := func(path string, fn func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = fn(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	if timeline != "" {
+		if err := write(timeline, res.WriteTimeline); err != nil {
+			return fmt.Errorf("timeline: %w", err)
+		}
+		fmt.Fprintf(stdout, "timeline: wrote %s\n", timeline)
+	}
+	if jsonl != "" {
+		if err := write(jsonl, res.WriteJSONL); err != nil {
+			return fmt.Errorf("jsonl: %w", err)
+		}
+		fmt.Fprintf(stdout, "timeline: wrote %s\n", jsonl)
+	}
+	fmt.Fprintf(stdout, "-- timeline showcase done in %v\n\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

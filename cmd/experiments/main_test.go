@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -45,5 +48,59 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) accepted", args)
 		}
+	}
+}
+
+// TestRunTimelineShowcase proves -timeline/-jsonl run the instrumented
+// fault showcase and produce a Perfetto-loadable artifact with spin
+// spans and slice-change markers (the acceptance shape).
+func TestRunTimelineShowcase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("showcase runs a few virtual seconds of simulation")
+	}
+	dir := t.TempDir()
+	tl := filepath.Join(dir, "tl.json")
+	jl := filepath.Join(dir, "series.jsonl")
+	var out strings.Builder
+	if err := run([]string{"-timeline", tl, "-jsonl", jl, "-scale", "small"}, &out); err != nil {
+		t.Fatalf("run -timeline: %v", err)
+	}
+	raw, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("timeline is not trace-event JSON: %v", err)
+	}
+	var spin, slice, round, faultWin bool
+	for _, ev := range file.TraceEvents {
+		switch {
+		case ev.Name == "spin":
+			spin = true
+		case strings.HasPrefix(ev.Name, "slice "):
+			slice = true
+		case ev.Name == "round":
+			round = true
+		case strings.HasPrefix(ev.Name, "fault:"):
+			faultWin = true
+		}
+	}
+	if !spin || !slice || !round || !faultWin {
+		t.Errorf("timeline lacks expected spans: spin=%v slice=%v round=%v fault=%v",
+			spin, slice, round, faultWin)
+	}
+	jraw, err := os.ReadFile(jl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(string(jraw), "\n")
+	var meta map[string]any
+	if err := json.Unmarshal([]byte(first), &meta); err != nil || meta["type"] != "meta" {
+		t.Fatalf("jsonl does not start with a meta line: %q (%v)", first, err)
 	}
 }

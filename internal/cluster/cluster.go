@@ -12,6 +12,7 @@ import (
 	"atcsched/internal/netmodel"
 	"atcsched/internal/sched/registry"
 	"atcsched/internal/sim"
+	"atcsched/internal/telemetry"
 	"atcsched/internal/vmm"
 	"atcsched/internal/workload"
 
@@ -127,6 +128,10 @@ type Config struct {
 	// loss, bandwidth degradation and monitor faults, seeded from
 	// Faults.Seed (or Seed when unset).
 	Faults *fault.Spec
+	// Telemetry, when non-nil, attaches a telemetry plane to the world
+	// (internal/telemetry). Strictly observational: fingerprints are
+	// byte-identical with or without it.
+	Telemetry *telemetry.Plane
 }
 
 // DefaultConfig returns a paper-testbed-like configuration for the given
@@ -191,6 +196,9 @@ func New(cfg Config) (*Scenario, error) {
 		return nil, err
 	}
 	s := &Scenario{Cfg: cfg, World: w}
+	if cfg.Telemetry != nil {
+		w.SetTelemetry(cfg.Telemetry)
+	}
 	if cfg.Faults != nil {
 		plan, err := fault.Compile(cfg.Faults, cfg.Seed)
 		if err != nil {
@@ -207,6 +215,18 @@ func New(cfg Config) (*Scenario, error) {
 // FaultReport returns the attached fault plan's injection tallies (zero
 // when no faults were configured).
 func (s *Scenario) FaultReport() fault.Report { return s.faults.Report() }
+
+// FinalizeTelemetry publishes end-of-run totals (per-node scheduler
+// counters, shard sync stats, fault windows and tallies) into the
+// configured telemetry plane. No-op without one; call after the run.
+func (s *Scenario) FinalizeTelemetry() {
+	p := s.Cfg.Telemetry
+	if p == nil {
+		return
+	}
+	s.World.FinalizeTelemetry()
+	s.faults.PublishTelemetry(p.Global())
+}
 
 // FaultPlan returns the compiled fault plan (nil without faults).
 func (s *Scenario) FaultPlan() *fault.Plan { return s.faults }

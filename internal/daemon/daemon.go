@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"atcsched/internal/core"
 	"atcsched/internal/sim"
+	"atcsched/internal/telemetry"
 )
 
 // VMSample is one VM's state for one scheduling period.
@@ -148,6 +150,14 @@ type Daemon struct {
 
 	periods uint64
 	stats   Stats
+
+	// stop asks Run to return at the next step boundary (signal-driven
+	// shutdown); tel/telClock publish controller decisions into a
+	// telemetry registry when attached.
+	stop     atomic.Bool
+	tel      *telemetry.Registry
+	telClock func() sim.Time
+	telSteps uint64
 }
 
 // New builds a daemon; cfg zero-value panics (use core.DefaultConfig()).
@@ -184,6 +194,51 @@ func New(cfg core.Config, src Source, act Actuator, opts ...Option) *Daemon {
 // Controller exposes the underlying controller (diagnostics).
 func (d *Daemon) Controller() *core.Controller { return d.ctl }
 
+// SetTelemetry attaches a registry (usually a Plane's global registry)
+// the daemon publishes controller decisions into: a "decision" span per
+// step, apply/drop/giveup counters, and per-VM slice series. clock
+// supplies the sim-time axis (e.g. World.Now for the sim backend); when
+// nil, steps are placed on a synthetic 30 ms grid.
+func (d *Daemon) SetTelemetry(reg *telemetry.Registry, clock func() sim.Time) {
+	d.tel = reg
+	d.telClock = clock
+}
+
+// Stop asks Run to return cleanly before its next step. Safe to call
+// from another goroutine (e.g. a signal handler).
+func (d *Daemon) Stop() { d.stop.Store(true) }
+
+// telNow returns the current telemetry timestamp.
+func (d *Daemon) telNow() sim.Time {
+	if d.telClock != nil {
+		return d.telClock()
+	}
+	return sim.Time(d.telSteps) * 30 * sim.Millisecond
+}
+
+// publishStep records one control period's outcome in the telemetry
+// registry (tel is non-nil when called).
+func (d *Daemon) publishStep(start sim.Time, outcome string, slices map[int]sim.Time) {
+	d.telSteps++
+	now := d.telNow()
+	if now < start {
+		now = start
+	}
+	lab := telemetry.GlobalLabel()
+	d.tel.AddSpan(telemetry.Span{
+		Name: "decision", Track: "daemon", Node: -1, Start: start, End: now,
+	})
+	d.tel.Add("daemon_decision_"+outcome, lab, 1)
+	d.tel.SetCount("daemon_retries", lab, d.stats.Retries)
+	d.tel.SetCount("daemon_dropped_periods", lab, d.stats.DroppedPeriods)
+	d.tel.SetCount("daemon_stale_samples", lab, d.stats.StaleSamples)
+	d.tel.SetCount("daemon_degraded", lab, d.stats.Degraded)
+	for id, sl := range slices {
+		d.tel.Point("daemon_slice_ns",
+			telemetry.Label{Node: -1, VM: fmt.Sprintf("vm%d", id)}, now, float64(sl))
+	}
+}
+
 // Periods returns how many control periods have committed (a dropped
 // period does not count — its decisions never took effect).
 func (d *Daemon) Periods() uint64 { return d.periods }
@@ -199,6 +254,10 @@ func (d *Daemon) Stats() Stats { return d.stats }
 // error — the loop continues) unless GiveUpAfter consecutive periods
 // have dropped, which is terminal.
 func (d *Daemon) Step() error {
+	var telStart sim.Time
+	if d.tel != nil {
+		telStart = d.telNow()
+	}
 	samples, err := d.src.Sample()
 	if err != nil {
 		return err
@@ -240,15 +299,24 @@ func (d *Daemon) Step() error {
 	d.degradeBlackedOut(slices)
 	committed, err := d.applyWithRetry(slices)
 	if err != nil {
+		if d.tel != nil {
+			d.publishStep(telStart, "giveup", slices)
+		}
 		return err
 	}
 	if !committed {
+		if d.tel != nil {
+			d.publishStep(telStart, "drop", slices)
+		}
 		return nil // period dropped; no state committed
 	}
 	for id, sl := range slices {
 		d.last[id] = sl
 	}
 	d.periods++
+	if d.tel != nil {
+		d.publishStep(telStart, "apply", slices)
+	}
 	return nil
 }
 
@@ -336,11 +404,11 @@ func (d *Daemon) applyWithRetry(slices map[int]sim.Time) (bool, error) {
 	return false, nil
 }
 
-// Run executes Step until the source returns io.EOF (clean end) or a
-// step fails terminally. Transient actuator failures are absorbed by
-// Step's retry/drop policy and do not end the loop.
+// Run executes Step until the source returns io.EOF (clean end), a step
+// fails terminally, or Stop is called. Transient actuator failures are
+// absorbed by Step's retry/drop policy and do not end the loop.
 func (d *Daemon) Run() error {
-	for {
+	for !d.stop.Load() {
 		if err := d.Step(); err != nil {
 			if err == io.EOF {
 				return nil
@@ -348,6 +416,7 @@ func (d *Daemon) Run() error {
 			return err
 		}
 	}
+	return nil
 }
 
 // MapActuator records the last applied slices in memory (tests, demo).

@@ -9,6 +9,7 @@ import (
 	"atcsched/internal/sched/extslice"
 	"atcsched/internal/sched/registry"
 	"atcsched/internal/sim"
+	"atcsched/internal/telemetry"
 	"atcsched/internal/vmm"
 	"atcsched/internal/workload"
 
@@ -58,6 +59,10 @@ type SimBackendConfig struct {
 	// loss, monitor faults, and actuation failures the daemon's
 	// hardened loop must ride out.
 	Faults *fault.Spec
+	// Telemetry, when non-nil, attaches a telemetry plane to the
+	// embedded world before it starts, so a live atcd run exposes
+	// per-node spin-latency and slice series over HTTP.
+	Telemetry *telemetry.Plane
 }
 
 // PolicySwitch flips a node's scheduling policy at a control period.
@@ -109,6 +114,9 @@ func NewSimBackend(cfg SimBackendConfig) (*SimBackend, error) {
 		}
 	}
 	b := &SimBackend{World: w, period: ncfg.SchedPeriod, MaxPeriods: cfg.MaxPeriods, switches: cfg.Switches}
+	if cfg.Telemetry != nil {
+		w.SetTelemetry(cfg.Telemetry)
+	}
 	if cfg.Faults != nil {
 		plan, err := fault.Compile(cfg.Faults, cfg.Seed)
 		if err != nil {
@@ -182,6 +190,16 @@ func (b *SimBackend) Sample() ([]VMSample, error) {
 // FaultReport returns the attached fault plan's injection tallies (zero
 // when no faults were configured).
 func (b *SimBackend) FaultReport() fault.Report { return b.plan.Report() }
+
+// FinalizeTelemetry publishes end-of-run totals from the embedded world
+// and fault plan into p (no-op when p is nil).
+func (b *SimBackend) FinalizeTelemetry(p *telemetry.Plane) {
+	if p == nil {
+		return
+	}
+	b.World.FinalizeTelemetry()
+	b.plan.PublishTelemetry(p.Global())
+}
 
 // applySwitches requests the policy switches due at the current control
 // period; each lands on its node's next scheduling-period boundary.

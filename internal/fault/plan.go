@@ -5,6 +5,7 @@ import (
 
 	"atcsched/internal/rng"
 	"atcsched/internal/sim"
+	"atcsched/internal/telemetry"
 	"atcsched/internal/vmm"
 )
 
@@ -145,6 +146,34 @@ func (p *Plan) Report() Report {
 		r.ActuationsFailed += nr.ActuationsFailed
 	}
 	return r
+}
+
+// PublishTelemetry renders the plan into reg (usually the plane's
+// global registry): each fault window becomes a span on the "faults"
+// track, and the report counters become telemetry counters. Call after
+// the run (with the final report) — publishing is observation only and
+// never feeds back into injection.
+func (p *Plan) PublishTelemetry(reg *telemetry.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	lab := telemetry.GlobalLabel()
+	for i := range p.windows {
+		w := &p.windows[i]
+		reg.AddSpan(telemetry.Span{
+			Name:  "fault:" + string(w.kind),
+			Track: "faults",
+			Node:  -1,
+			Start: w.start,
+			End:   w.end,
+		})
+	}
+	r := p.Report()
+	reg.SetCount("fault_packets_lost", lab, r.PacketsLost)
+	reg.SetCount("fault_samples_dropped", lab, r.SamplesDropped)
+	reg.SetCount("fault_samples_staled", lab, r.SamplesStaled)
+	reg.SetCount("fault_samples_noised", lab, r.SamplesNoised)
+	reg.SetCount("fault_actuations_failed", lab, r.ActuationsFailed)
 }
 
 // drawFor returns the rng stream and report the hook for node should

@@ -6,6 +6,7 @@ import (
 
 	"atcsched/internal/cluster"
 	"atcsched/internal/sim"
+	"atcsched/internal/telemetry"
 	"atcsched/internal/vmm"
 	"atcsched/internal/workload"
 )
@@ -64,6 +65,11 @@ func runOne(spec Spec, approach cluster.Approach, traced bool) (*result, error) 
 	cfg.Sched.DisableBoost = spec.DisableBoost
 	cfg.Sched.DisableSteal = spec.DisableSteal
 	cfg.Faults = spec.Faults
+	if spec.Telemetry {
+		// Instrumented runs must fingerprint identically to bare ones:
+		// the battery attaches a full plane and otherwise changes nothing.
+		cfg.Telemetry = telemetry.New(telemetry.Options{})
+	}
 	for i, k := range spec.NodeKinds {
 		if k == "" {
 			continue
@@ -133,6 +139,9 @@ func runOne(spec Spec, approach cluster.Approach, traced bool) (*result, error) 
 		}
 	}
 	res.completed = s.Go(spec.horizon())
+	// Exercise the end-of-run telemetry publication too (no-op when the
+	// spec did not attach a plane); it must never disturb the world.
+	s.FinalizeTelemetry()
 	for _, run := range s.Runs() {
 		res.runRounds = append(res.runRounds, run.Rounds())
 	}

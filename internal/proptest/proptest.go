@@ -80,6 +80,11 @@ type Spec struct {
 	// equivalence check additionally proves fingerprints match across
 	// shard counts.
 	Shards int `json:"shards,omitempty"`
+	// Telemetry attaches a full telemetry plane to every run. The plane
+	// must be invisible to the simulation — fingerprints are byte
+	// identical with or without it — so the battery runs a slice of
+	// scenarios instrumented to keep that contract honest.
+	Telemetry bool `json:"telemetry,omitempty"`
 	// HorizonSec caps the run's virtual time (liveness safety net).
 	HorizonSec float64 `json:"horizonSec"`
 }
@@ -392,5 +397,8 @@ func Generate(seed uint64, lim Limits) Spec {
 		shardChoices := []int{1, 2, 4, 8}
 		spec.Shards = shardChoices[src.Intn(len(shardChoices))]
 	}
+	// A slice of scenarios runs fully instrumented; telemetry must never
+	// show in a fingerprint, so these runs are plain battery members.
+	spec.Telemetry = src.Float64() < 0.15
 	return spec
 }

@@ -144,6 +144,11 @@ func candidates(s Spec) []Spec {
 		c.Shards = 0
 		out = append(out, c)
 	}
+	if s.Telemetry {
+		c := clone(s)
+		c.Telemetry = false
+		out = append(out, c)
+	}
 	return out
 }
 

@@ -9,8 +9,11 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -106,7 +109,10 @@ func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		// Label each worker goroutine so CPU/mutex profiles of an
+		// experiment sweep attribute samples to the pool and its cells.
+		labels := pprof.Labels("pool", "runner-worker", "worker", strconv.Itoa(w))
+		go pprof.Do(context.Background(), labels, func(context.Context) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -123,7 +129,7 @@ func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 					out[i], errs[i] = fn(i)
 				}()
 			}
-		}()
+		})
 	}
 	wg.Wait()
 	for _, p := range panics {

@@ -123,6 +123,8 @@ type Scheduler struct {
 	weights map[int]int
 	// creditCap bounds accumulated credit to avoid unbounded hoarding.
 	creditCap sim.Time
+	// steals counts cross-runqueue dispatches (telemetry).
+	steals uint64
 
 	// PlaceQueue, when non-nil, overrides home-queue selection at enqueue
 	// time (used by Balance Scheduling).
@@ -378,9 +380,14 @@ func (s *Scheduler) PickNext(p *vmm.PCPU) *vmm.VCPU {
 	if v == nil {
 		return s.popQueue(own, own)
 	}
+	s.steals++
 	s.Data(v).Queue = own // migrate home
 	return v
 }
+
+// Steals returns how many dispatches pulled a VCPU from a sibling
+// runqueue (work-conserving stealing; 0 with Steal disabled).
+func (s *Scheduler) Steals() uint64 { return s.steals }
 
 // popQueue removes and returns the first VCPU in queue q that may run
 // on PCPU `on` (usually on == q; stealing passes the stealer).

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -55,8 +57,32 @@ type ShardGroup struct {
 	// halt requests a stop; it is checked at segment boundaries only, so
 	// the stop point is deterministic in virtual time.
 	halt atomic.Bool
-	// scratch avoids per-window allocation of the active-engine list.
-	scratch []*Engine
+	// scratch avoids per-window allocation of the active-shard list.
+	scratch []int
+	// labels holds per-shard pprof label sets applied to segment
+	// goroutines (nil entries: no labels).
+	labels []*pprof.LabelSet
+	// stats counts synchronization activity; every field is updated on
+	// the barrier goroutine only.
+	stats SyncStats
+}
+
+// SyncStats counts a shard group's synchronization activity. All fields
+// are cumulative over the group's lifetime and are maintained on the
+// barrier goroutine, so they are deterministic for a deterministic run.
+type SyncStats struct {
+	// Windows counts lookahead windows whose cross events were injected.
+	Windows uint64
+	// Segments counts executed segments (at least one engine had work).
+	Segments uint64
+	// ParallelSegments counts segments that fanned out over goroutines
+	// (more than one shard had work).
+	ParallelSegments uint64
+	// CrossPosted counts cross events collected from shard outboxes.
+	CrossPosted uint64
+	// CrossInjected counts cross events injected into destination
+	// engines at window boundaries.
+	CrossInjected uint64
 }
 
 // NewShardGroup creates shards engines synchronized at the given
@@ -85,6 +111,28 @@ func (g *ShardGroup) Engine(i int) *Engine { return g.engines[i] }
 
 // Lookahead returns the synchronization window length.
 func (g *ShardGroup) Lookahead() Time { return g.look }
+
+// Stats returns the group's synchronization counters. Call between
+// RunUntil calls (the counters are maintained on the barrier goroutine).
+func (g *ShardGroup) Stats() SyncStats { return g.stats }
+
+// SetShardLabels attaches pprof labels (key/value pairs) to shard i's
+// segment goroutines, so CPU/mutex profiles of a sharded run attribute
+// samples to shards. Call before RunUntil; nil/empty kv clears.
+func (g *ShardGroup) SetShardLabels(shard int, kv ...string) {
+	if shard < 0 || shard >= len(g.engines) {
+		panic(fmt.Sprintf("sim: shard %d out of range [0,%d)", shard, len(g.engines)))
+	}
+	for len(g.labels) < len(g.engines) {
+		g.labels = append(g.labels, nil)
+	}
+	if len(kv) == 0 {
+		g.labels[shard] = nil
+		return
+	}
+	ls := pprof.Labels(kv...)
+	g.labels[shard] = &ls
+}
 
 // AssignSource registers source domain src on the given shard. Sources
 // must be assigned densely from 0 before the first Post or RunUntil.
@@ -157,6 +205,7 @@ func (g *ShardGroup) Stopped() bool { return g.halt.Load() }
 func (g *ShardGroup) collect() {
 	for sh := range g.outbox {
 		if len(g.outbox[sh]) > 0 {
+			g.stats.CrossPosted += uint64(len(g.outbox[sh]))
 			g.pending = append(g.pending, g.outbox[sh]...)
 			g.outbox[sh] = g.outbox[sh][:0]
 		}
@@ -187,6 +236,7 @@ func (g *ShardGroup) inject(wEnd Time) {
 		g.engines[g.shardOf[ev.dst]].At(ev.at, ev.fn)
 	}
 	if n > 0 {
+		g.stats.CrossInjected += uint64(n)
 		g.pending = append(g.pending[:0], g.pending[n:]...)
 	}
 }
@@ -211,28 +261,38 @@ func (g *ShardGroup) earliest() (Time, bool) {
 
 // runSegment runs every engine to segEnd. Engines with no events in the
 // segment only need their clocks advanced; when more than one engine has
-// real work the segment fans out over goroutines.
+// real work the segment fans out over goroutines (labelled for pprof
+// attribution when SetShardLabels was called).
 func (g *ShardGroup) runSegment(segEnd Time) {
 	active := g.scratch[:0]
-	for _, e := range g.engines {
+	for i, e := range g.engines {
 		if at, ok := e.NextEventAt(); ok && at <= segEnd {
-			active = append(active, e)
+			active = append(active, i)
 		}
 	}
 	g.scratch = active[:0] // retain capacity
+	g.stats.Segments++
 	if len(active) <= 1 {
 		for _, e := range g.engines {
 			e.RunUntil(segEnd)
 		}
 		return
 	}
+	g.stats.ParallelSegments++
 	var wg sync.WaitGroup
-	for _, e := range active {
+	for _, i := range active {
 		wg.Add(1)
-		go func(e *Engine) {
+		go func(i int) {
 			defer wg.Done()
+			e := g.engines[i]
+			if i < len(g.labels) && g.labels[i] != nil {
+				pprof.Do(context.Background(), *g.labels[i], func(context.Context) {
+					e.RunUntil(segEnd)
+				})
+				return
+			}
 			e.RunUntil(segEnd)
-		}(e)
+		}(i)
 	}
 	wg.Wait()
 	for _, e := range g.engines {
@@ -251,6 +311,7 @@ func (g *ShardGroup) RunUntil(t Time) {
 		if g.injected < wEnd {
 			g.inject(wEnd)
 			g.injected = wEnd
+			g.stats.Windows++
 		}
 		segEnd := wEnd
 		if segEnd > t {

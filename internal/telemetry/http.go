@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// promName converts a metric name ("spin_wait_ns" or "daemon.apply") to
+// a Prometheus-legal name with the atc_ prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("atc_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set as {node="0",vm="vm1"}; the global
+// label (-1, "") renders as no braces at all.
+func promLabels(lab Label, extra ...string) string {
+	var parts []string
+	if lab.Node >= 0 {
+		parts = append(parts, fmt.Sprintf(`node="%d"`, lab.Node))
+	}
+	if lab.VM != "" {
+		parts = append(parts, fmt.Sprintf(`vm="%s"`, lab.VM))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, extra[i], extra[i+1]))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders a snapshot as Prometheus text exposition
+// (version 0.0.4). Counters and gauges map directly; each series
+// contributes a gauge holding its last sample; histograms become
+// standard _bucket/_sum/_count families with le bounds in seconds of
+// virtual time.
+func WritePrometheus(w *bufio.Writer, snap Snapshot) error {
+	typed := map[string]bool{}
+	header := func(name, typ string) {
+		if !typed[name] {
+			typed[name] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		}
+	}
+	for _, c := range snap.Counters {
+		n := promName(c.Name) + "_total"
+		header(n, "counter")
+		fmt.Fprintf(w, "%s%s %d\n", n, promLabels(c.Label), c.Value)
+	}
+	for _, g := range snap.Gauges {
+		n := promName(g.Name)
+		header(n, "gauge")
+		fmt.Fprintf(w, "%s%s %g\n", n, promLabels(g.Label), g.Value)
+	}
+	for _, s := range snap.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		n := promName(s.Name) + "_last"
+		header(n, "gauge")
+		last := s.Points[len(s.Points)-1]
+		fmt.Fprintf(w, "%s%s %g\n", n, promLabels(s.Label), last.V)
+	}
+	for _, h := range snap.Histograms {
+		n := promName(h.Name)
+		header(n+"_bucket", "histogram")
+		for i, b := range h.Bounds {
+			fmt.Fprintf(w, "%s_bucket%s %d\n", n,
+				promLabels(h.Label, "le", fmt.Sprintf("%g", b.Seconds())), h.Counts[i])
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", n, promLabels(h.Label, "le", "+Inf"), h.Count)
+		fmt.Fprintf(w, "%s_sum%s %g\n", n, promLabels(h.Label), h.Sum.Seconds())
+		fmt.Fprintf(w, "%s_count%s %d\n", n, promLabels(h.Label), h.Count)
+	}
+	return w.Flush()
+}
+
+// debugSnapshot is the /debug/atc JSON shape: the full snapshot plus a
+// summary block for quick inspection.
+type debugSnapshot struct {
+	Summary  map[string]any `json:"summary"`
+	Snapshot Snapshot       `json:"snapshot"`
+}
+
+// Handler serves the plane over HTTP:
+//
+//	/metrics    — Prometheus text exposition
+//	/debug/atc  — full JSON snapshot with a summary header
+//
+// snapFn is called per request, so a live run is scraped mid-flight.
+// extra summary fields (e.g. daemon stats) come from summaryFn (may be
+// nil).
+func Handler(snapFn func() Snapshot, summaryFn func() map[string]any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		_ = WritePrometheus(bw, snapFn())
+	})
+	mux.HandleFunc("/debug/atc", func(w http.ResponseWriter, r *http.Request) {
+		snap := snapFn()
+		sum := map[string]any{
+			"counters": len(snap.Counters),
+			"gauges":   len(snap.Gauges),
+			"series":   len(snap.Series),
+			"spans":    len(snap.Spans),
+		}
+		if summaryFn != nil {
+			ks := summaryFn()
+			keys := make([]string, 0, len(ks))
+			for k := range ks {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				sum[k] = ks[k]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(debugSnapshot{Summary: sum, Snapshot: snap})
+	})
+	return mux
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// JSONL schema version (the "meta" line's "version" field). Bump when a
+// line shape changes incompatibly.
+const JSONLVersion = 1
+
+// jsonlMeta is the first line of every dump.
+type jsonlMeta struct {
+	Type    string `json:"type"` // "meta"
+	Version int    `json:"version"`
+	// Dropped totals let a consumer detect truncated series/spans.
+	DroppedPoints uint64 `json:"droppedPoints,omitempty"`
+	DroppedSpans  uint64 `json:"droppedSpans,omitempty"`
+}
+
+// jsonlPoint is one time-series sample line.
+type jsonlPoint struct {
+	Type string `json:"type"` // "point"
+	Name string `json:"name"`
+	Label
+	T int64   `json:"t_ns"`
+	V float64 `json:"v"`
+}
+
+// jsonlCounter / jsonlGauge are end-of-run scalar lines.
+type jsonlCounter struct {
+	Type string `json:"type"` // "counter"
+	Name string `json:"name"`
+	Label
+	Value uint64 `json:"value"`
+}
+
+type jsonlGauge struct {
+	Type string `json:"type"` // "gauge"
+	Name string `json:"name"`
+	Label
+	Value float64 `json:"value"`
+}
+
+// jsonlSpan is one completed span line.
+type jsonlSpan struct {
+	Type string `json:"type"` // "span"
+	Name string `json:"name"`
+	Label
+	Track string `json:"track"`
+	Start int64  `json:"start_ns"`
+	End   int64  `json:"end_ns"`
+	Value int64  `json:"value_ns,omitempty"`
+}
+
+// jsonlHist is one histogram line (cumulative bucket counts).
+type jsonlHist struct {
+	Type string `json:"type"` // "hist"
+	Name string `json:"name"`
+	Label
+	BoundsNS []int64  `json:"bounds_ns"`
+	Counts   []uint64 `json:"counts"`
+	Count    uint64   `json:"count"`
+	SumNS    int64    `json:"sum_ns"`
+}
+
+// WriteJSONL dumps a snapshot as JSON Lines: a "meta" header, then
+// every series point in (series, time) order, then spans, histograms,
+// counters and gauges. All times are integer nanoseconds of virtual
+// time. The output is deterministic for a deterministic snapshot; see
+// EXPERIMENTS.md for the documented schema.
+func WriteJSONL(w io.Writer, snap Snapshot) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlMeta{
+		Type: "meta", Version: JSONLVersion,
+		DroppedPoints: snap.DroppedPoints, DroppedSpans: snap.DroppedSpans,
+	}); err != nil {
+		return err
+	}
+	for _, s := range snap.Series {
+		for _, p := range s.Points {
+			if err := enc.Encode(jsonlPoint{
+				Type: "point", Name: s.Name, Label: s.Label,
+				T: int64(p.T), V: p.V,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, sp := range snap.Spans {
+		if err := enc.Encode(jsonlSpan{
+			Type: "span", Name: sp.Name, Label: Label{Node: sp.Node},
+			Track: sp.Track, Start: int64(sp.Start), End: int64(sp.End),
+			Value: int64(sp.Value),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		line := jsonlHist{
+			Type: "hist", Name: h.Name, Label: h.Label,
+			Counts: h.Counts, Count: h.Count, SumNS: int64(h.Sum),
+		}
+		for _, b := range h.Bounds {
+			line.BoundsNS = append(line.BoundsNS, int64(b))
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	for _, c := range snap.Counters {
+		if err := enc.Encode(jsonlCounter{Type: "counter", Name: c.Name, Label: c.Label, Value: c.Value}); err != nil {
+			return err
+		}
+	}
+	for _, g := range snap.Gauges {
+		if err := enc.Encode(jsonlGauge{Type: "gauge", Name: g.Name, Label: g.Label, Value: g.Value}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

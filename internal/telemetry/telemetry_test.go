@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"atcsched/internal/sim"
+)
+
+// TestHistogramEdgeCases pins the small-n behavior: no observations, a
+// single observation, and observations below the first and above the
+// last bound.
+func TestHistogramEdgeCases(t *testing.T) {
+	bounds := []sim.Time{sim.Millisecond, 10 * sim.Millisecond}
+	lab := Label{Node: 0}
+
+	t.Run("zero-observations", func(t *testing.T) {
+		r := NewRegistry(Options{HistBounds: bounds})
+		if got := len(r.Snapshot().Histograms); got != 0 {
+			t.Fatalf("unobserved histogram materialized: %d entries", got)
+		}
+	})
+
+	t.Run("single-observation", func(t *testing.T) {
+		r := NewRegistry(Options{HistBounds: bounds})
+		r.Observe("lat", lab, 5*sim.Millisecond)
+		h := r.Snapshot().Histograms[0]
+		if h.Count != 1 || h.Sum != 5*sim.Millisecond {
+			t.Fatalf("count=%d sum=%v, want 1, 5ms", h.Count, h.Sum)
+		}
+		if want := []uint64{0, 1}; h.Counts[0] != want[0] || h.Counts[1] != want[1] {
+			t.Fatalf("cumulative counts %v, want %v", h.Counts, want)
+		}
+	})
+
+	t.Run("boundary-inclusive", func(t *testing.T) {
+		// d <= bound lands in the bound's bucket (Prometheus le semantics).
+		r := NewRegistry(Options{HistBounds: bounds})
+		r.Observe("lat", lab, sim.Millisecond)
+		h := r.Snapshot().Histograms[0]
+		if h.Counts[0] != 1 {
+			t.Fatalf("exact-boundary observation missed first bucket: %v", h.Counts)
+		}
+	})
+
+	t.Run("below-first-and-above-last", func(t *testing.T) {
+		r := NewRegistry(Options{HistBounds: bounds})
+		r.Observe("lat", lab, 0)            // below the first bound
+		r.Observe("lat", lab, 5*sim.Second) // above the last bound (+Inf bucket)
+		h := r.Snapshot().Histograms[0]
+		if h.Count != 2 {
+			t.Fatalf("count=%d, want 2", h.Count)
+		}
+		if h.Counts[0] != 1 || h.Counts[1] != 1 {
+			t.Fatalf("cumulative counts %v, want [1 1]", h.Counts)
+		}
+		// +Inf observations are Count - last cumulative bound count.
+		if inf := h.Count - h.Counts[len(h.Counts)-1]; inf != 1 {
+			t.Fatalf("+Inf bucket holds %d, want 1", inf)
+		}
+	})
+}
+
+// TestSeriesCap proves the series keeps a deterministic prefix and
+// counts what it dropped.
+func TestSeriesCap(t *testing.T) {
+	r := NewRegistry(Options{SeriesCap: 3})
+	lab := Label{Node: 1, VM: "vm0"}
+	for i := 0; i < 5; i++ {
+		r.Point("m", lab, sim.Time(i), float64(i))
+	}
+	snap := r.Snapshot()
+	s := snap.Series[0]
+	if len(s.Points) != 3 {
+		t.Fatalf("retained %d points, want 3", len(s.Points))
+	}
+	for i, p := range s.Points {
+		if p.T != sim.Time(i) || p.V != float64(i) {
+			t.Fatalf("point %d is %+v, want t=%d v=%d (prefix, not eviction)", i, p, i, i)
+		}
+	}
+	if snap.DroppedPoints != 2 {
+		t.Fatalf("droppedPoints=%d, want 2", snap.DroppedPoints)
+	}
+}
+
+// TestSpanCap mirrors the series-cap contract for spans.
+func TestSpanCap(t *testing.T) {
+	r := NewRegistry(Options{SpanCap: 2})
+	for i := 0; i < 4; i++ {
+		r.AddSpan(Span{Name: "spin", Track: "vm0/0", Start: sim.Time(i), End: sim.Time(i + 1)})
+	}
+	snap := r.Snapshot()
+	if len(snap.Spans) != 2 || snap.DroppedSpans != 2 {
+		t.Fatalf("spans=%d dropped=%d, want 2, 2", len(snap.Spans), snap.DroppedSpans)
+	}
+	if snap.Spans[0].Start != 0 || snap.Spans[1].Start != 1 {
+		t.Fatalf("retained spans are not the deterministic prefix: %+v", snap.Spans)
+	}
+}
+
+// TestSnapshotOrdering proves the plane's merged snapshot sorts every
+// section canonically regardless of publish order.
+func TestSnapshotOrdering(t *testing.T) {
+	p := New(Options{})
+	// Publish deliberately out of order, across registries.
+	p.Node(1).Add("b_count", Label{Node: 1}, 2)
+	p.Node(0).Add("b_count", Label{Node: 0}, 1)
+	p.Global().Add("a_count", GlobalLabel(), 3)
+	p.Node(1).Point("ser", Label{Node: 1, VM: "z"}, 5, 1)
+	p.Node(1).Point("ser", Label{Node: 1, VM: "a"}, 5, 2)
+	p.Node(1).AddSpan(Span{Name: "s", Track: "t", Node: 1, Start: 20, End: 30})
+	p.Node(0).AddSpan(Span{Name: "s", Track: "t", Node: 0, Start: 10, End: 15})
+	snap := p.Snapshot()
+
+	wantCounters := []struct {
+		name string
+		node int
+	}{{"a_count", -1}, {"b_count", 0}, {"b_count", 1}}
+	for i, w := range wantCounters {
+		c := snap.Counters[i]
+		if c.Name != w.name || c.Node != w.node {
+			t.Fatalf("counter %d is (%s,%d), want (%s,%d)", i, c.Name, c.Node, w.name, w.node)
+		}
+	}
+	if snap.Series[0].VM != "a" || snap.Series[1].VM != "z" {
+		t.Fatalf("series not sorted by vm: %q then %q", snap.Series[0].VM, snap.Series[1].VM)
+	}
+	if snap.Spans[0].Start != 10 || snap.Spans[1].Start != 20 {
+		t.Fatalf("spans not sorted by start: %+v", snap.Spans)
+	}
+}
+
+// TestNodeRegistryGrowth proves Node(i) lazily grows and is stable.
+func TestNodeRegistryGrowth(t *testing.T) {
+	p := New(Options{})
+	r3 := p.Node(3)
+	if p.Node(3) != r3 {
+		t.Fatal("Node(3) not stable across calls")
+	}
+	if p.Node(0) == r3 {
+		t.Fatal("distinct nodes share a registry")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative node index did not panic")
+		}
+	}()
+	p.Node(-1)
+}
+
+// TestPrometheusExposition spot-checks the text exposition shapes.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry(Options{HistBounds: []sim.Time{sim.Millisecond}})
+	r.Add("sched_dispatches", Label{Node: 0}, 7)
+	r.SetGauge("vm_run_time_ns", Label{Node: 0, VM: "vm1"}, 42)
+	r.Point("vm_spin_latency_ns", Label{Node: 0, VM: "vm1"}, 10, 1.5)
+	r.Point("vm_spin_latency_ns", Label{Node: 0, VM: "vm1"}, 20, 2.5)
+	r.Observe("spin_latency", Label{Node: 0, VM: "vm1"}, 500*sim.Microsecond)
+
+	var sb strings.Builder
+	bw := bufio.NewWriter(&sb)
+	if err := WritePrometheus(bw, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE atc_sched_dispatches_total counter",
+		`atc_sched_dispatches_total{node="0"} 7`,
+		`atc_vm_run_time_ns{node="0",vm="vm1"} 42`,
+		`atc_vm_spin_latency_ns_last{node="0",vm="vm1"} 2.5`, // last sample wins
+		`atc_spin_latency_bucket{node="0",vm="vm1",le="0.001"} 1`,
+		`atc_spin_latency_bucket{node="0",vm="vm1",le="+Inf"} 1`,
+		`atc_spin_latency_sum{node="0",vm="vm1"} 0.0005`,
+		`atc_spin_latency_count{node="0",vm="vm1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestHandler drives the HTTP surface through httptest.
+func TestHandler(t *testing.T) {
+	r := NewRegistry(Options{})
+	r.Add("daemon_decision_apply", GlobalLabel(), 3)
+	h := Handler(r.Snapshot, func() map[string]any { return map[string]any{"steps": 12} })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(string(body), "atc_daemon_decision_apply_total 3") {
+		t.Fatalf("/metrics missing decision counter:\n%s", body)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/debug/atc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dbg struct {
+		Summary  map[string]any `json:"summary"`
+		Snapshot Snapshot       `json:"snapshot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dbg); err != nil {
+		t.Fatalf("/debug/atc is not JSON: %v", err)
+	}
+	if dbg.Summary["steps"] != float64(12) {
+		t.Fatalf("summary fn not merged: %v", dbg.Summary)
+	}
+	if len(dbg.Snapshot.Counters) != 1 {
+		t.Fatalf("snapshot lost counters: %+v", dbg.Snapshot)
+	}
+}

@@ -114,8 +114,15 @@ type Node struct {
 	// boundary so the policy change lines up with an accounting pass.
 	pendingSwap SchedulerFactory
 
-	wakes uint64
-	swaps uint64
+	// tel is the node's telemetry state (nil when no plane is attached);
+	// every publish site is guarded by a nil check so a detached plane
+	// costs one branch.
+	tel *nodeTel
+
+	wakes    uint64
+	swaps    uint64
+	preempts uint64
+	blocks   uint64
 }
 
 // ID returns the node index in the world.
@@ -381,6 +388,9 @@ func (n *Node) start() {
 			n.applySwap()
 		}
 		n.sched.OnPeriod(n)
+		if n.tel != nil {
+			n.sampleTelemetry()
+		}
 		n.eng.Schedule(n.cfg.SchedPeriod, period)
 	}
 	// Physical machines boot at different instants, so their accounting

@@ -180,6 +180,7 @@ func (p *PCPU) dispatch() {
 	if slice <= 0 {
 		panic(fmt.Sprintf("vmm: scheduler %s granted non-positive slice %v", p.node.sched.Name(), slice))
 	}
+	v.vm.curSlice = slice
 	p.sliceEnd = now + cs + slice
 	p.sliceEv = p.node.eng.At(p.sliceEnd, p.sliceFn)
 
@@ -225,6 +226,7 @@ func (p *PCPU) preemptCur() {
 		p.scheduleDispatch()
 		return
 	}
+	p.node.preempts++
 	p.node.trace(TracePreempt, p.idx, v, 0)
 	p.releaseCur(v, now)
 	v.state = StateRunnable
@@ -311,6 +313,7 @@ func (p *PCPU) blockCur(v *VCPU, st VCPUState) {
 	if v.runSegStart >= 0 {
 		panic(fmt.Sprintf("vmm: %s blocking mid-segment", v))
 	}
+	p.node.blocks++
 	p.node.trace(TraceBlock, p.idx, v, 0)
 	p.releaseCur(v, now)
 	v.state = st

@@ -84,6 +84,9 @@ func (l *Spinlock) finishAcquire(v *VCPU, now sim.Time) {
 	l.vm.SpinMon.Record(now - v.spinSince)
 	v.spinningOn = nil
 	v.vm.spinWaitTotal += now - v.spinSince
+	if t := l.vm.node.tel; t != nil {
+		t.telSpin(l.vm, v, v.spinSince, now)
+	}
 }
 
 // release is called when the holder executes ActRelease. It hands the

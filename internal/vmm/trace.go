@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"atcsched/internal/sim"
+	"atcsched/internal/telemetry"
 )
 
 // TraceKind labels a scheduling trace record.
@@ -208,5 +209,11 @@ func (n *Node) traceVM(kind TraceKind, vm *VM, arg sim.Time) {
 }
 
 // TraceSlice lets schedulers record a slice decision for vm (no-op
-// without an attached tracer).
-func (n *Node) TraceSlice(vm *VM, slice sim.Time) { n.traceVM(TraceSliceChange, vm, slice) }
+// without an attached tracer or telemetry plane).
+func (n *Node) TraceSlice(vm *VM, slice sim.Time) {
+	n.traceVM(TraceSliceChange, vm, slice)
+	if n.tel != nil {
+		n.tel.reg.Point("vm_slice_change_ns",
+			telemetry.Label{Node: n.id, VM: vm.name}, n.eng.Now(), float64(slice))
+	}
+}

@@ -95,6 +95,10 @@ type VM struct {
 	received      uint64
 	sent          uint64
 
+	// curSlice is the slice most recently granted to one of the VM's
+	// VCPUs at dispatch — telemetry's view of the slice in force.
+	curSlice sim.Time
+
 	// periodWaitSum/periodWaitCount accumulate runqueue waits
 	// (runnable → dispatched) within the current scheduling period — the
 	// non-intrusive proxy signal a VMM can observe without guest

@@ -8,6 +8,7 @@ import (
 	"atcsched/internal/diskmodel"
 	"atcsched/internal/netmodel"
 	"atcsched/internal/sim"
+	"atcsched/internal/telemetry"
 )
 
 // World is a whole simulated cluster: the engine(s), the physical fabric,
@@ -37,6 +38,7 @@ type World struct {
 	nextVCPUID int
 	started    bool
 	tracer     *Tracer
+	telemetry  *telemetry.Plane
 
 	// slowFn, when set, reports the execution-time multiplier (>= 1) in
 	// force on a node at an instant; the PCPUs stretch every compute and

@@ -5,6 +5,7 @@ import (
 
 	"atcsched/internal/rng"
 	"atcsched/internal/sim"
+	"atcsched/internal/telemetry"
 	"atcsched/internal/vmm"
 )
 
@@ -310,6 +311,24 @@ func NewParallelRun(app *BSPApp, targetRounds int, forever bool, onTarget func()
 	}
 }
 
+// publishRound emits a BSP round span into the home node's telemetry
+// registry (no-op without an attached plane). The span covers the round
+// just completed; Value carries the round index.
+func (r *ParallelRun) publishRound(now sim.Time) {
+	reg := r.home.TelemetryRegistry()
+	if reg == nil {
+		return
+	}
+	reg.AddSpan(telemetry.Span{
+		Name:  "round",
+		Track: r.App.VMs[0].Name(),
+		Node:  r.home.ID(),
+		Start: r.startedAt,
+		End:   now,
+		Value: sim.Time(r.round),
+	})
+}
+
 // Install sets up round 0's processes on every VCPU of the cluster.
 func (r *ParallelRun) Install() {
 	if r.home.World().Sharded() {
@@ -350,6 +369,7 @@ func (r *ParallelRun) onDone(v *vmm.VCPU) vmm.Process {
 	}
 	now := r.home.Engine().Now()
 	r.times = append(r.times, (now - r.startedAt).Seconds())
+	r.publishRound(now)
 	r.round++
 	if r.round >= r.TargetRounds && !r.fired {
 		r.fired = true
@@ -399,6 +419,7 @@ func (r *ParallelRun) noteDone() {
 	}
 	now := r.home.Engine().Now()
 	r.times = append(r.times, (now - r.startedAt).Seconds())
+	r.publishRound(now)
 	r.round++
 	if r.round >= r.TargetRounds && !r.fired {
 		r.fired = true
