@@ -56,8 +56,8 @@ func TestNPBProfileFacade(t *testing.T) {
 }
 
 func TestExperimentsFacade(t *testing.T) {
-	if len(Experiments()) != 18 {
-		t.Errorf("experiments = %d, want 18", len(Experiments()))
+	if len(Experiments()) != 19 {
+		t.Errorf("experiments = %d, want 19", len(Experiments()))
 	}
 	tables, err := RunExperiment("tab1", "small", 1)
 	if err != nil {
@@ -76,14 +76,14 @@ func TestExperimentsFacade(t *testing.T) {
 
 func TestSchedulerKindsFacade(t *testing.T) {
 	kinds := SchedulerKinds()
-	if len(kinds) != 8 {
-		t.Fatalf("kinds = %v, want 8 registered policies", kinds)
+	if len(kinds) != 10 {
+		t.Fatalf("kinds = %v, want 10 registered policies", kinds)
 	}
 	have := map[string]bool{}
 	for _, k := range kinds {
 		have[k] = true
 	}
-	for _, want := range []string{"CR", "CS", "BS", "DSS", "VS", "ATC", "HY", "EXT"} {
+	for _, want := range []string{"CR", "CS", "BS", "DSS", "VS", "ATC", "HY", "EXT", "DFRS", "ATCDFRS"} {
 		if !have[want] {
 			t.Errorf("kinds missing %s: %v", want, kinds)
 		}

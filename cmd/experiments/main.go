@@ -42,7 +42,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		expID        = fs.String("exp", "", "experiment id(s), comma-separated (fig1, fig2, fig5, fig8, euclid, fig9, fig10, fig11, fig12, fig13, fig14, tab1; extensions: score, sens, ablate, switch, faults, scale)")
+		expID        = fs.String("exp", "", "experiment id(s), comma-separated (fig1, fig2, fig5, fig8, euclid, fig9, fig10, fig11, fig12, fig13, fig14, tab1; extensions: score, sens, ablate, switch, faults, scale, dfrs)")
 		all          = fs.Bool("all", false, "run every experiment (skips wall-clock benchmarks like scale; select those with -exp)")
 		list         = fs.Bool("list", false, "list experiments and exit")
 		scale        = fs.String("scale", "small", "small | medium | full")

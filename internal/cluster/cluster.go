@@ -35,6 +35,11 @@ const (
 	// HY is the hybrid scheduling framework from the paper's related
 	// work — an extension baseline, not part of the evaluated set.
 	HY Approach = "HY"
+	// DFRS is dynamic fractional resource scheduling (per-VM CPU
+	// fractions), and ATCDFRS the ATC×DFRS hybrid — extension
+	// baselines contrasting fraction control with slice control.
+	DFRS    Approach = "DFRS"
+	ATCDFRS Approach = "ATCDFRS"
 )
 
 // Approaches returns the paper's six compared approaches in the paper's

@@ -72,7 +72,7 @@ func TestHYApproachBuilds(t *testing.T) {
 	if got := s.World.Node(0).Scheduler().Name(); got != "HY" {
 		t.Errorf("Name = %q", got)
 	}
-	if len(ExtendedApproaches()) != len(Approaches())+1 {
+	if len(ExtendedApproaches()) != len(Approaches())+3 {
 		t.Error("ExtendedApproaches wrong")
 	}
 }

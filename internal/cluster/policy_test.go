@@ -87,8 +87,15 @@ func TestApproachesMatchRegistry(t *testing.T) {
 			t.Fatalf("Approaches() = %v, want %v", got, want)
 		}
 	}
+	// Extensions follow the compared set in sorted-kind order.
 	ext := ExtendedApproaches()
-	if len(ext) != len(got)+1 || ext[len(ext)-1] != HY {
-		t.Errorf("ExtendedApproaches() = %v", ext)
+	wantExt := append(append([]Approach{}, want...), ATCDFRS, DFRS, HY)
+	if len(ext) != len(wantExt) {
+		t.Fatalf("ExtendedApproaches() = %v, want %v", ext, wantExt)
+	}
+	for i := range wantExt {
+		if ext[i] != wantExt[i] {
+			t.Fatalf("ExtendedApproaches() = %v, want %v", ext, wantExt)
+		}
 	}
 }

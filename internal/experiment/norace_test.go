@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiment
+
+// raceEnabled reports that this test binary carries the race detector.
+const raceEnabled = false

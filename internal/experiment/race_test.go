@@ -1,0 +1,11 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports that this test binary carries the race detector.
+// The dfrs golden tests skip under it: they are byte-for-byte replays of
+// deterministic runs (no new interleavings to observe), and the sharded
+// head-to-head cell's barrier traffic is pathologically slow when every
+// synchronization is instrumented. The concurrency the experiment
+// exercises is still race-checked via the proptest DFRS battery.
+const raceEnabled = true

@@ -228,6 +228,21 @@ func Normalize(values []float64, base float64) []float64 {
 	return out
 }
 
+// Jain returns Jain's fairness index (Σx)²/(n·Σx²) over xs: 1 when every
+// value is equal, 1/n when one value holds everything. It returns 1 for
+// an empty or all-zero slice (nothing is being shared unfairly).
+func Jain(xs []float64) float64 {
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
 // Mean returns the arithmetic mean of xs (0 for an empty slice).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -271,3 +271,22 @@ func TestQuantilePanics(t *testing.T) {
 	}()
 	h.Quantile(2)
 }
+
+func TestJain(t *testing.T) {
+	if got := Jain([]float64{3, 3, 3, 3}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("equal shares: %v, want 1", got)
+	}
+	if got := Jain([]float64{10, 0, 0, 0}); !almostEqual(got, 0.25, 1e-12) {
+		t.Errorf("one hog of four: %v, want 0.25", got)
+	}
+	// Known value: (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+	if got := Jain([]float64{1, 2, 3}); !almostEqual(got, 36.0/42.0, 1e-12) {
+		t.Errorf("1,2,3: %v, want %v", got, 36.0/42.0)
+	}
+	if got := Jain(nil); got != 1 {
+		t.Errorf("empty: %v, want 1", got)
+	}
+	if got := Jain([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero: %v, want 1", got)
+	}
+}

@@ -118,3 +118,32 @@ func TestPolicySwitchExample(t *testing.T) {
 		t.Fatalf("audit after switch: %v", errs[0])
 	}
 }
+
+// TestDFRSExample runs the committed fractional-share example to
+// completion: DFRS cluster-wide, node 2 on the ATC×DFRS hybrid from the
+// start, and node 0 live-switched to the hybrid mid-run.
+func TestDFRSExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run")
+	}
+	res := loadExample(t, "dfrs.json")
+	if _, err := res.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w := res.Scenario.World
+	want := map[int]string{0: "ATCDFRS", 1: "DFRS", 2: "ATCDFRS"}
+	for n, name := range want {
+		if got := w.Node(n).Scheduler().Name(); got != name {
+			t.Errorf("node %d scheduler = %s, want %s", n, got, name)
+		}
+	}
+	if swaps := w.Node(0).Swaps(); swaps != 1 {
+		t.Errorf("node 0 swaps = %d, want 1 (the 0.3s live switch)", swaps)
+	}
+	if swaps := w.Node(1).Swaps(); swaps != 0 {
+		t.Errorf("node 1 swaps = %d, want 0", swaps)
+	}
+	if errs := w.Audit(); len(errs) > 0 {
+		t.Fatalf("audit: %v", errs[0])
+	}
+}

@@ -1,8 +1,11 @@
 package scenario
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"atcsched/internal/sched/registry"
 )
 
 // FuzzScenarioJSON hammers the spec parser: Load must accept or reject
@@ -64,6 +67,81 @@ func FuzzScenarioJSON(f *testing.F) {
 		}
 		if errs := res.Scenario.World.Audit(); len(errs) > 0 {
 			t.Fatalf("fresh world fails audit: %v", errs)
+		}
+	})
+}
+
+// FuzzSchedOptionsJSON hammers the policy-options half of the registry:
+// for any (kind, options JSON) pair the resolver must accept or reject
+// cleanly, an unknown kind must name every valid kind in its error, and
+// an accepted merge must re-marshal byte-stably (parse → merge → marshal
+// → merge → marshal is a fixed point). Seeds cover the DFRS family's
+// fractional parameters, including out-of-range fractions that must be
+// rejected. Run deep with
+//
+//	go test ./internal/scenario -fuzz=FuzzSchedOptionsJSON -fuzztime=30s
+func FuzzSchedOptionsJSON(f *testing.F) {
+	f.Add("DFRS", `{"minFraction": 0.05, "redistributePeriods": 3}`)
+	f.Add("DFRS", `{"credit": {"timeSliceMs": 10}, "minQuantum": "2ms"}`)
+	f.Add("DFRS", `{"nonWorkConserving": true, "smoothing": 0.25}`)
+	f.Add("ATCDFRS", `{"dfrs": {"dom0Fraction": 0.1}, "control": {"alpha": "9ms"}}`)
+	f.Add("ATCDFRS", `{"noiseFloor": "1ms"}`)
+	// Invalid fractions: must be rejected, never panic.
+	f.Add("DFRS", `{"minFraction": -1}`)
+	f.Add("DFRS", `{"minFraction": 0.9}`)
+	f.Add("DFRS", `{"smoothing": 2}`)
+	f.Add("DFRS", `{"dom0Fraction": 1.5}`)
+	f.Add("ATCDFRS", `{"dfrs": {"smoothing": -0.5}}`)
+	// Structural edges.
+	f.Add("ATC", `{"control": {"alpha": "5ms"}}`)
+	f.Add("CR", ``)
+	f.Add("zen", `{}`)
+	f.Add("", `null`)
+	f.Add("DFRS", `{"bogus": 1}`)
+	f.Add("DFRS", `{"minFraction": "lots"}`)
+	f.Add("DFRS", `{"minFraction": 0.1}{"trailing": true}`)
+	f.Fuzz(func(t *testing.T, kind, opts string) {
+		var raw json.RawMessage
+		if opts != "" {
+			raw = json.RawMessage(opts)
+		}
+		d, known := registry.Lookup(kind)
+		if !known {
+			err := registry.Validate(kind, raw)
+			if err == nil {
+				t.Fatalf("unknown kind %q accepted", kind)
+			}
+			// The error must enumerate every registered kind, sorted —
+			// the caller's typo is diagnosable from the message alone.
+			if want := strings.Join(registry.Kinds(), ", "); !strings.Contains(err.Error(), want) {
+				t.Fatalf("unknown-kind error %q does not list the valid kinds %q", err, want)
+			}
+			return
+		}
+		if err := registry.Validate(kind, raw); err != nil {
+			return
+		}
+		merged, err := d.Options(raw)
+		if err != nil {
+			t.Fatalf("%s: options validated but failed to merge: %v", kind, err)
+		}
+		b1, err := json.Marshal(merged)
+		if err != nil {
+			t.Fatalf("%s: merged options do not marshal: %v", kind, err)
+		}
+		if err := registry.Validate(kind, json.RawMessage(b1)); err != nil {
+			t.Fatalf("%s: re-marshaled options %s no longer validate: %v", kind, b1, err)
+		}
+		again, err := d.Options(json.RawMessage(b1))
+		if err != nil {
+			t.Fatalf("%s: re-merge of %s failed: %v", kind, b1, err)
+		}
+		b2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != string(b2) {
+			t.Fatalf("%s: options round trip unstable:\n%s\n%s", kind, b1, b2)
 		}
 	})
 }

@@ -7,9 +7,11 @@ package all
 
 import (
 	_ "atcsched/internal/sched/atc"
+	_ "atcsched/internal/sched/atcdfrs"
 	_ "atcsched/internal/sched/balance"
 	_ "atcsched/internal/sched/cosched"
 	_ "atcsched/internal/sched/credit"
+	_ "atcsched/internal/sched/dfrs"
 	_ "atcsched/internal/sched/dss"
 	_ "atcsched/internal/sched/extslice"
 	_ "atcsched/internal/sched/hybrid"

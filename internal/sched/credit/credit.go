@@ -121,6 +121,12 @@ type Scheduler struct {
 	queues [][]*vmm.VCPU // [pcpu][pos], each kept sorted by enqueue order within class
 	// weights maps VM id to weight (DefaultWeight when absent).
 	weights map[int]int
+	// shares maps VM id to a pinned CPU fraction of node capacity in
+	// [0,1]. A VM with a share draws exactly that fraction of the
+	// per-period credit supply; VMs without one split the remainder
+	// weight-proportionally. This is the fractional accounting path the
+	// DFRS family drives (see SetShare).
+	shares map[int]float64
 	// creditCap bounds accumulated credit to avoid unbounded hoarding.
 	creditCap sim.Time
 	// steals counts cross-runqueue dispatches (telemetry).
@@ -149,6 +155,7 @@ func New(n *vmm.Node, opts Options) *Scheduler {
 		opts:    opts,
 		queues:  make([][]*vmm.VCPU, len(n.PCPUs())),
 		weights: make(map[int]int),
+		shares:  make(map[int]float64),
 		lastCPU: make(map[int]sim.Time),
 	}
 	return s
@@ -181,6 +188,29 @@ func (s *Scheduler) weight(vm *vmm.VM) int {
 		return w
 	}
 	return s.opts.DefaultWeight
+}
+
+// SetShare pins vm's per-period credit supply to frac of node capacity
+// (1.0 = every PCPU for the whole period). Shared VMs are refilled
+// before the weight-proportional pool, which then splits only the
+// remaining supply; when the shares of the period's active VMs sum
+// above 1 they are scaled down proportionally. Fractional policies
+// (DFRS) drive this instead of SetWeight.
+func (s *Scheduler) SetShare(vm *vmm.VM, frac float64) {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("credit: share %v outside [0,1]", frac))
+	}
+	s.shares[vm.ID()] = frac
+}
+
+// ClearShare removes vm's pinned fraction, returning it to the
+// weight-proportional pool.
+func (s *Scheduler) ClearShare(vm *vmm.VM) { delete(s.shares, vm.ID()) }
+
+// Share returns vm's pinned fraction, if any.
+func (s *Scheduler) Share(vm *vmm.VM) (float64, bool) {
+	f, ok := s.shares[vm.ID()]
+	return f, ok
 }
 
 // Data returns the credit state of v, creating it if needed.
@@ -434,7 +464,10 @@ func (s *Scheduler) OnTick(n *vmm.Node) {
 
 // OnPeriod implements vmm.Scheduler: refill credits proportionally to
 // the weights of the *active* VMs (a VM is active when it consumed CPU
-// since the last period or has runnable work).
+// since the last period or has runnable work). Active VMs carrying a
+// pinned fraction (SetShare) are supplied first — exactly their
+// fraction of the period's capacity — and the weight-proportional pool
+// splits what remains.
 func (s *Scheduler) OnPeriod(n *vmm.Node) {
 	all := append([]*vmm.VM{n.Dom0()}, n.VMs()...)
 	vms := all[:0:0]
@@ -453,53 +486,76 @@ func (s *Scheduler) OnPeriod(n *vmm.Node) {
 		s.lastCPU[vm.ID()] = cpu
 	}
 	var weightSum int
+	fracSum := 0.0
 	for _, vm := range vms {
-		weightSum += s.weight(vm)
+		if f, ok := s.shares[vm.ID()]; ok {
+			fracSum += f
+		} else {
+			weightSum += s.weight(vm)
+		}
 	}
-	if weightSum == 0 {
+	if weightSum == 0 && fracSum == 0 {
 		return
 	}
+	// Over-committed shares (active shared VMs asking for more than the
+	// node) squeeze proportionally; the weighted pool then gets nothing.
+	norm := 1.0
+	if fracSum > 1 {
+		norm = 1 / fracSum
+	}
 	total := float64(n.Config().SchedPeriod) * float64(len(n.PCPUs()))
+	remaining := total * (1 - fracSum*norm)
 	for _, vm := range vms {
-		share := sim.Time(total * float64(s.weight(vm)) / float64(weightSum))
-		// The VM's share is split among its *active* VCPUs, as Xen's
-		// csched does — a VM running one busy process on an 8-VCPU VM
-		// gets its whole entitlement on that VCPU rather than burning
-		// 7/8 of it on idle siblings.
-		active := make([]bool, len(vm.VCPUs()))
-		nActive := 0
-		for i, v := range vm.VCPUs() {
-			d := s.Data(v)
-			cpu := v.CPUTime()
-			st := v.State()
-			if cpu > d.lastPeriodCPU || st == vmm.StateRunnable || st == vmm.StateRunning {
-				active[i] = true
-				nActive++
-			}
-			d.lastPeriodCPU = cpu
+		var share sim.Time
+		if f, ok := s.shares[vm.ID()]; ok {
+			share = sim.Time(total * f * norm)
+		} else {
+			share = sim.Time(remaining * float64(s.weight(vm)) / float64(weightSum))
 		}
-		if nActive == 0 {
-			for i := range active {
-				active[i] = true
-			}
-			nActive = len(active)
+		s.refillVM(vm, share)
+	}
+}
+
+// refillVM distributes one VM's per-period credit supply over its
+// active VCPUs.
+func (s *Scheduler) refillVM(vm *vmm.VM, share sim.Time) {
+	// The VM's share is split among its *active* VCPUs, as Xen's
+	// csched does — a VM running one busy process on an 8-VCPU VM
+	// gets its whole entitlement on that VCPU rather than burning
+	// 7/8 of it on idle siblings.
+	active := make([]bool, len(vm.VCPUs()))
+	nActive := 0
+	for i, v := range vm.VCPUs() {
+		d := s.Data(v)
+		cpu := v.CPUTime()
+		st := v.State()
+		if cpu > d.lastPeriodCPU || st == vmm.StateRunnable || st == vmm.StateRunning {
+			active[i] = true
+			nActive++
 		}
-		perVCPU := share / sim.Time(nActive)
-		if s.creditCap < 2*perVCPU {
-			s.creditCap = 2 * perVCPU
+		d.lastPeriodCPU = cpu
+	}
+	if nActive == 0 {
+		for i := range active {
+			active[i] = true
 		}
-		for i, v := range vm.VCPUs() {
-			d := s.Data(v)
-			s.charge(v, d)
-			if active[i] {
-				d.Credit += perVCPU
-			}
-			if d.Credit > s.creditCap {
-				d.Credit = s.creditCap
-			}
-			if d.Prio != PrioBoost {
-				d.Prio = s.creditPrio(d)
-			}
+		nActive = len(active)
+	}
+	perVCPU := share / sim.Time(nActive)
+	if s.creditCap < 2*perVCPU {
+		s.creditCap = 2 * perVCPU
+	}
+	for i, v := range vm.VCPUs() {
+		d := s.Data(v)
+		s.charge(v, d)
+		if active[i] {
+			d.Credit += perVCPU
+		}
+		if d.Credit > s.creditCap {
+			d.Credit = s.creditCap
+		}
+		if d.Prio != PrioBoost {
+			d.Prio = s.creditPrio(d)
 		}
 	}
 }

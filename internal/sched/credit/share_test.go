@@ -1,0 +1,134 @@
+package credit_test
+
+import (
+	"testing"
+
+	"atcsched/internal/sched/credit"
+	"atcsched/internal/sim"
+	"atcsched/internal/vmm"
+	"atcsched/internal/vmmtest"
+)
+
+// TestShareProportions pins the fractional supply path: two CPU hogs on
+// one PCPU with pinned shares 0.75 / 0.20 must split runtime roughly by
+// their fractions, not by weight.
+func TestShareProportions(t *testing.T) {
+	opts := credit.DefaultOptions()
+	opts.TimeSlice = 5 * sim.Millisecond
+	w := world(t, 1, 1, opts)
+	node := w.Node(0)
+	vmA := node.NewVM("a", vmm.ClassNonParallel, 1, 0, 1)
+	vmB := node.NewVM("b", vmm.ClassNonParallel, 1, 0, 1)
+	s := node.Scheduler().(*credit.Scheduler)
+	s.SetShare(vmA, 0.75)
+	s.SetShare(vmB, 0.20)
+	vmmtest.Loop(vmA.VCPU(0), vmm.Compute(100*sim.Millisecond))
+	vmmtest.Loop(vmB.VCPU(0), vmm.Compute(100*sim.Millisecond))
+	w.Start()
+	w.RunUntil(3 * sim.Second)
+	ratio := float64(vmA.RunTime()) / float64(vmB.RunTime())
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("runtime ratio = %.2f, want ~3.75 (a=%v b=%v)", ratio, vmA.RunTime(), vmB.RunTime())
+	}
+}
+
+// TestShareAndWeightPoolsCoexist: a VM pinned at half the node leaves
+// the other half to the weighted pool, which splits it evenly between
+// the two remaining hogs.
+func TestShareAndWeightPoolsCoexist(t *testing.T) {
+	opts := credit.DefaultOptions()
+	opts.TimeSlice = 5 * sim.Millisecond
+	w := world(t, 1, 1, opts)
+	node := w.Node(0)
+	pinned := node.NewVM("pinned", vmm.ClassNonParallel, 1, 0, 1)
+	wa := node.NewVM("wa", vmm.ClassNonParallel, 1, 0, 1)
+	wb := node.NewVM("wb", vmm.ClassNonParallel, 1, 0, 1)
+	s := node.Scheduler().(*credit.Scheduler)
+	s.SetShare(pinned, 0.5)
+	for _, vm := range []*vmm.VM{pinned, wa, wb} {
+		vmmtest.Loop(vm.VCPU(0), vmm.Compute(100*sim.Millisecond))
+	}
+	w.Start()
+	w.RunUntil(4 * sim.Second)
+	rp, ra, rb := pinned.RunTime().Seconds(), wa.RunTime().Seconds(), wb.RunTime().Seconds()
+	if rp < 1.4 || rp > 2.6 {
+		t.Errorf("pinned runtime = %.2fs of 4s, want ~2s", rp)
+	}
+	if ra < 0.6 || ra > 1.6 || rb < 0.6 || rb > 1.6 {
+		t.Errorf("weighted runtimes = %.2fs / %.2fs, want ~1s each", ra, rb)
+	}
+}
+
+// TestClearShareReturnsToWeightedPool: after ClearShare the VM is back
+// on equal weights and the runtime gap closes.
+func TestClearShareReturnsToWeightedPool(t *testing.T) {
+	opts := credit.DefaultOptions()
+	opts.TimeSlice = 5 * sim.Millisecond
+	w := world(t, 1, 1, opts)
+	node := w.Node(0)
+	vmA := node.NewVM("a", vmm.ClassNonParallel, 1, 0, 1)
+	vmB := node.NewVM("b", vmm.ClassNonParallel, 1, 0, 1)
+	s := node.Scheduler().(*credit.Scheduler)
+	s.SetShare(vmA, 0.9)
+	s.SetShare(vmB, 0.1)
+	if f, ok := s.Share(vmA); !ok || f != 0.9 {
+		t.Fatalf("Share(a) = %v,%v, want 0.9,true", f, ok)
+	}
+	vmmtest.Loop(vmA.VCPU(0), vmm.Compute(100*sim.Millisecond))
+	vmmtest.Loop(vmB.VCPU(0), vmm.Compute(100*sim.Millisecond))
+	w.Start()
+	w.RunUntil(2 * sim.Second)
+	aAt2, bAt2 := vmA.RunTime(), vmB.RunTime()
+	if float64(aAt2)/float64(bAt2) < 3 {
+		t.Fatalf("shares not enforced before clear: a=%v b=%v", aAt2, bAt2)
+	}
+	s.ClearShare(vmA)
+	s.ClearShare(vmB)
+	w.RunUntil(6 * sim.Second)
+	da, db := (vmA.RunTime() - aAt2).Seconds(), (vmB.RunTime() - bAt2).Seconds()
+	if da/db > 1.5 || db/da > 1.5 {
+		t.Errorf("post-clear split %.2fs vs %.2fs, want ~equal", da, db)
+	}
+}
+
+// TestSetShareRejectsBadFractions: shares outside [0,1] panic like the
+// other constructor misuse guards.
+func TestSetShareRejectsBadFractions(t *testing.T) {
+	w := world(t, 1, 1, credit.DefaultOptions())
+	node := w.Node(0)
+	vm := node.NewVM("x", vmm.ClassNonParallel, 1, 0, 1)
+	s := node.Scheduler().(*credit.Scheduler)
+	for _, bad := range []float64{-0.1, 1.01} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("share %v accepted", bad)
+				}
+			}()
+			s.SetShare(vm, bad)
+		}()
+	}
+}
+
+// TestOvercommittedSharesSqueeze: shares summing above 1 are scaled
+// down proportionally rather than minting extra supply; the 2:1 ratio
+// between the VMs survives the squeeze.
+func TestOvercommittedSharesSqueeze(t *testing.T) {
+	opts := credit.DefaultOptions()
+	opts.TimeSlice = 5 * sim.Millisecond
+	w := world(t, 1, 1, opts)
+	node := w.Node(0)
+	vmA := node.NewVM("a", vmm.ClassNonParallel, 1, 0, 1)
+	vmB := node.NewVM("b", vmm.ClassNonParallel, 1, 0, 1)
+	s := node.Scheduler().(*credit.Scheduler)
+	s.SetShare(vmA, 1.0)
+	s.SetShare(vmB, 0.5)
+	vmmtest.Loop(vmA.VCPU(0), vmm.Compute(100*sim.Millisecond))
+	vmmtest.Loop(vmB.VCPU(0), vmm.Compute(100*sim.Millisecond))
+	w.Start()
+	w.RunUntil(3 * sim.Second)
+	ratio := float64(vmA.RunTime()) / float64(vmB.RunTime())
+	if ratio < 1.4 || ratio > 3 {
+		t.Errorf("runtime ratio = %.2f, want ~2 under proportional squeeze", ratio)
+	}
+}

@@ -1,0 +1,244 @@
+package dfrs_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"atcsched/internal/sched/dfrs"
+	"atcsched/internal/sched/registry"
+	"atcsched/internal/sim"
+	"atcsched/internal/telemetry"
+	"atcsched/internal/vmm"
+	"atcsched/internal/vmmtest"
+)
+
+func world(t *testing.T, pcpus int, opts dfrs.Options) *vmm.World {
+	t.Helper()
+	return vmmtest.World(1, pcpus, dfrs.Factory(opts))
+}
+
+func TestOptionsValidation(t *testing.T) {
+	base := dfrs.DefaultOptions()
+	cases := map[string]func(*dfrs.Options){
+		"zero interval":      func(o *dfrs.Options) { o.RedistributePeriods = 0 },
+		"negative min frac":  func(o *dfrs.Options) { o.MinFraction = -0.1 },
+		"huge min frac":      func(o *dfrs.Options) { o.MinFraction = 0.6 },
+		"dom0 full node":     func(o *dfrs.Options) { o.Dom0Fraction = 1 },
+		"negative dom0":      func(o *dfrs.Options) { o.Dom0Fraction = -0.5 },
+		"zero smoothing":     func(o *dfrs.Options) { o.Smoothing = 0 },
+		"smoothing above 1":  func(o *dfrs.Options) { o.Smoothing = 1.5 },
+		"zero quantum":       func(o *dfrs.Options) { o.MinQuantum = 0 },
+		"quantum over slice": func(o *dfrs.Options) { o.MinQuantum = 2 * o.Credit.TimeSlice },
+	}
+	for name, mut := range cases {
+		o := base
+		mut(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+// TestFractionsTrackDemand: a CPU hog and a near-idle tenant sharing a
+// node must end up with visibly different fractions, both floored and
+// summing within the distributable capacity.
+func TestFractionsTrackDemand(t *testing.T) {
+	opts := dfrs.DefaultOptions()
+	w := world(t, 2, opts)
+	node := w.Node(0)
+	hog := node.NewVM("hog", vmm.ClassNonParallel, 2, 0, 1)
+	idle := node.NewVM("idle", vmm.ClassNonParallel, 1, 0, 1)
+	for _, v := range hog.VCPUs() {
+		vmmtest.Loop(v, vmm.Compute(100*sim.Millisecond))
+	}
+	// The near-idle VM computes 1 ms then sleeps 50 ms.
+	vmmtest.Loop(idle.VCPU(0), vmm.Compute(sim.Millisecond), vmm.Sleep(50*sim.Millisecond))
+	w.Start()
+	w.RunUntil(3 * sim.Second)
+	s := node.Scheduler().(*dfrs.Scheduler)
+	if s.Redistributions() == 0 {
+		t.Fatal("no redistributions happened")
+	}
+	fh, ok := s.Fraction(hog)
+	if !ok {
+		t.Fatal("hog has no fraction")
+	}
+	fi, ok := s.Fraction(idle)
+	if !ok {
+		t.Fatal("idle has no fraction")
+	}
+	if fh < 2*fi {
+		t.Errorf("hog fraction %.3f not clearly above idle %.3f", fh, fi)
+	}
+	if fi < opts.MinFraction {
+		t.Errorf("idle fraction %.3f below floor %.3f", fi, opts.MinFraction)
+	}
+	// The floor may push the sum slightly past the distributable
+	// capacity; the overshoot is bounded by MinFraction × pool size.
+	if sum, max := fh+fi, 1-opts.Dom0Fraction+2*opts.MinFraction; sum > max+1e-9 {
+		t.Errorf("fractions sum %.3f above bound %.3f", sum, max)
+	}
+}
+
+// TestWorkConservingAbsorbsSlack: a lone hog must absorb the idle
+// tenant's unused capacity (work conservation) — its runtime approaches
+// wall time even though its raw demand share started at an equal split.
+func TestWorkConservingAbsorbsSlack(t *testing.T) {
+	opts := dfrs.DefaultOptions()
+	w := world(t, 2, opts)
+	node := w.Node(0)
+	hog := node.NewVM("hog", vmm.ClassNonParallel, 1, 0, 1)
+	idle := node.NewVM("idle", vmm.ClassNonParallel, 1, 0, 1)
+	vmmtest.Loop(hog.VCPU(0), vmm.Compute(100*sim.Millisecond))
+	vmmtest.Loop(idle.VCPU(0), vmm.Compute(sim.Millisecond), vmm.Sleep(80*sim.Millisecond))
+	w.Start()
+	w.RunUntil(3 * sim.Second)
+	if r := hog.RunTime().Seconds(); r < 2.5 {
+		t.Errorf("hog ran %.2fs of 3s with an idle neighbor — slack not reallocated", r)
+	}
+	s := node.Scheduler().(*dfrs.Scheduler)
+	// The hog's 1 VCPU caps its fraction at half this 2-PCPU node.
+	if f, _ := s.Fraction(hog); f < 0.3 || f > 0.5+1e-9 {
+		t.Errorf("hog fraction %.3f, want scaled up toward its 0.5 VCPU cap", f)
+	}
+}
+
+// TestFractionalQuantum: the dispatch quantum follows the fraction —
+// a contended node hands out sub-default slices within
+// [MinQuantum, TimeSlice], and an admin slice still wins.
+func TestFractionalQuantum(t *testing.T) {
+	opts := dfrs.DefaultOptions()
+	w := world(t, 1, opts)
+	node := w.Node(0)
+	vms := make([]*vmm.VM, 4)
+	for i := range vms {
+		vms[i] = node.NewVM("vm", vmm.ClassNonParallel, 1, 0, 1)
+		vmmtest.Loop(vms[i].VCPU(0), vmm.Compute(100*sim.Millisecond))
+	}
+	admin := node.NewVM("admin", vmm.ClassNonParallel, 1, 0, 1)
+	admin.AdminSlice = 6 * sim.Millisecond
+	vmmtest.Loop(admin.VCPU(0), vmm.Compute(100*sim.Millisecond))
+	w.Start()
+	w.RunUntil(2 * sim.Second)
+	s := node.Scheduler().(*dfrs.Scheduler)
+	for i, vm := range vms {
+		q := s.Slice(vm.VCPU(0))
+		if q < opts.MinQuantum || q > opts.Credit.TimeSlice {
+			t.Errorf("vm%d quantum %v outside [%v, %v]", i, q, opts.MinQuantum, opts.Credit.TimeSlice)
+		}
+		if q == opts.Credit.TimeSlice {
+			t.Errorf("vm%d quantum %v never shrank below the default on a 5-way contended PCPU", i, q)
+		}
+	}
+	if got := s.Slice(admin.VCPU(0)); got != 6*sim.Millisecond {
+		t.Errorf("admin quantum %v, want the 6ms admin slice", got)
+	}
+}
+
+// TestNonWorkConservingLeavesSlack: with NonWorkConserving set, a lone
+// low-demand tenant keeps a demand-sized fraction instead of absorbing
+// the node.
+func TestNonWorkConservingLeavesSlack(t *testing.T) {
+	opts := dfrs.DefaultOptions()
+	opts.NonWorkConserving = true
+	w := world(t, 2, opts)
+	node := w.Node(0)
+	light := node.NewVM("light", vmm.ClassNonParallel, 1, 0, 1)
+	vmmtest.Loop(light.VCPU(0), vmm.Compute(2*sim.Millisecond), vmm.Sleep(30*sim.Millisecond))
+	w.Start()
+	w.RunUntil(3 * sim.Second)
+	s := node.Scheduler().(*dfrs.Scheduler)
+	f, ok := s.Fraction(light)
+	if !ok {
+		t.Fatal("no fraction assigned")
+	}
+	if f > 0.25 {
+		t.Errorf("fraction %.3f, want demand-sized (not scaled up) in non-work-conserving mode", f)
+	}
+}
+
+// TestTelemetryPublishesFractions: with a plane attached the scheduler
+// emits per-VM fraction series/gauges and redistribution spans; the
+// nil-guard keeps bare runs publishing nothing.
+func TestTelemetryPublishesFractions(t *testing.T) {
+	opts := dfrs.DefaultOptions()
+	w := world(t, 2, opts)
+	plane := telemetry.New(telemetry.Options{})
+	w.SetTelemetry(plane)
+	node := w.Node(0)
+	vm := node.NewVM("hog", vmm.ClassNonParallel, 1, 0, 1)
+	vmmtest.Loop(vm.VCPU(0), vmm.Compute(100*sim.Millisecond))
+	w.Start()
+	w.RunUntil(sim.Second)
+	snap := plane.Snapshot()
+	var points, spans int
+	for _, s := range snap.Series {
+		if s.Name == "vm_fraction" && s.Label.VM == "hog" {
+			points += len(s.Points)
+		}
+	}
+	for _, sp := range snap.Spans {
+		if sp.Name == "redistribute" && sp.Track == "dfrs" {
+			spans++
+		}
+	}
+	if points == 0 {
+		t.Error("no vm_fraction points published")
+	}
+	if spans == 0 {
+		t.Error("no redistribute spans published")
+	}
+}
+
+// TestRegistryRoundTrip: DFRS options merge over defaults from JSON and
+// re-marshal stably, and invalid fractions are rejected through the
+// registry Build path.
+func TestRegistryRoundTrip(t *testing.T) {
+	d, ok := registry.Lookup("DFRS")
+	if !ok {
+		t.Fatal("DFRS not registered")
+	}
+	merged, err := d.Options(json.RawMessage(`{"minFraction": 0.1, "redistributePeriods": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := merged.(*dfrs.Options)
+	if o.MinFraction != 0.1 || o.RedistributePeriods != 4 {
+		t.Errorf("user fields lost: %+v", o)
+	}
+	if o.Smoothing != dfrs.DefaultOptions().Smoothing || !o.Credit.Boost {
+		t.Errorf("defaults lost: %+v", o)
+	}
+	if err := registry.Validate("DFRS", json.RawMessage(`{"minFraction": -1}`)); err == nil {
+		t.Error("negative minFraction accepted")
+	}
+	if err := registry.Validate("DFRS", json.RawMessage(`{"smoothing": 2}`)); err == nil {
+		t.Error("smoothing 2 accepted")
+	}
+	if err := registry.Validate("DFRS", json.RawMessage(`{"dom0Fraction": 1.5}`)); err == nil {
+		t.Error("dom0Fraction 1.5 accepted")
+	}
+	// A marshal→merge→marshal cycle must be byte-stable.
+	b1, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := d.Options(json.RawMessage(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("round trip unstable:\n%s\n%s", b1, b2)
+	}
+	if !strings.Contains(d.Description, "fractional") {
+		t.Errorf("description %q does not mention fractional scheduling", d.Description)
+	}
+}

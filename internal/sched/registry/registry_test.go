@@ -27,14 +27,21 @@ func TestKindsAndOrdering(t *testing.T) {
 			t.Fatalf("Compared() = %v, want %v", got, wantCompared)
 		}
 	}
-	if ext := registry.Extensions(); len(ext) != 1 || ext[0] != "HY" {
-		t.Errorf("Extensions() = %v, want [HY]", ext)
+	wantExt := []string{"ATCDFRS", "DFRS", "HY"}
+	ext := registry.Extensions()
+	if len(ext) != len(wantExt) {
+		t.Fatalf("Extensions() = %v, want %v", ext, wantExt)
+	}
+	for i := range ext {
+		if ext[i] != wantExt[i] {
+			t.Fatalf("Extensions() = %v, want %v", ext, wantExt)
+		}
 	}
 	kinds := registry.Kinds()
-	if len(kinds) != 8 {
-		t.Errorf("Kinds() = %v, want all 8 policies", kinds)
+	if len(kinds) != 10 {
+		t.Errorf("Kinds() = %v, want all 10 policies", kinds)
 	}
-	for _, k := range []string{"CR", "BS", "CS", "DSS", "VS", "ATC", "HY", "EXT"} {
+	for _, k := range []string{"CR", "BS", "CS", "DSS", "VS", "ATC", "HY", "EXT", "DFRS", "ATCDFRS"} {
 		if _, ok := registry.Lookup(k); !ok {
 			t.Errorf("Lookup(%q) failed", k)
 		}
@@ -54,6 +61,22 @@ func TestUnknownKindEnumeratesValid(t *testing.T) {
 		if !strings.Contains(msg, k) {
 			t.Errorf("error %q does not list valid kind %s", msg, k)
 		}
+	}
+}
+
+// TestUnknownKindErrorDeterministic pins the exact unknown-kind message:
+// the valid-kind list must be sorted, never map-iteration order, so
+// callers (and fuzz targets) can assert on the message byte-for-byte
+// and two runs never disagree.
+func TestUnknownKindErrorDeterministic(t *testing.T) {
+	want := `unknown scheduler "NOPE" (valid: ATC, ATCDFRS, BS, CR, CS, DFRS, DSS, EXT, HY, VS)`
+	for i := 0; i < 10; i++ {
+		if got := registry.UnknownKindError("NOPE").Error(); got != want {
+			t.Fatalf("attempt %d:\n got %q\nwant %q", i, got, want)
+		}
+	}
+	if _, err := registry.Resolve("NOPE", nil, registry.Base{}); err == nil || err.Error() != want {
+		t.Errorf("Resolve error = %v, want %q", err, want)
 	}
 }
 
