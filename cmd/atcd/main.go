@@ -15,6 +15,16 @@
 //	                 the daemon samples real spinlock latencies from the
 //	                 simulator and actuates its schedulers' slices
 //
+// Fleet mode (-nodes N, N >= 1) replaces the single-node loop with the
+// sharded fleet control plane (internal/daemon.Fleet) over a simulated
+// N-node cluster; it implies the sim backend:
+//
+//	-nodes N         drive N nodes through the fleet pipeline
+//	-shards S        shard the per-node controller state S ways
+//	-hollow          kubemark-style hollow nodes (one light VM each)
+//	-snapshot f.json write a control-plane snapshot at exit
+//	-restore f.json  resume from a snapshot written by -snapshot
+//
 // Observability:
 //
 //	-listen addr     serve Prometheus text exposition on /metrics and a
@@ -79,6 +89,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		beta      = fs.Float64("beta", 0.3, "fine adjustment step in ms")
 		periods   = fs.Int("periods", 40, "demo/sim: number of control periods")
 		swap      = fs.String("swap", "", `sim: scheduled policy switches "period:node:KIND[,...]" (node -1 = all), e.g. "10:-1:ATC"`)
+		nodes     = fs.Int("nodes", 0, "run the sharded fleet control plane over this many sim nodes (0 = single-node daemon)")
+		shards    = fs.Int("shards", 0, "fleet: decider/applier shard count (default 1)")
+		hollow    = fs.Bool("hollow", false, "fleet: hollow kubemark-style nodes — one light VM per node")
+		snapshot  = fs.String("snapshot", "", "fleet: write a control-plane snapshot to this file at exit")
+		restore   = fs.String("restore", "", "fleet: restore control-plane state from this snapshot file at start")
 		listen    = fs.String("listen", "", "serve /metrics and /debug/atc on this address (e.g. :9090)")
 		timeline  = fs.String("timeline", "", "sim: write a Chrome/Perfetto timeline to this file at exit")
 		jsonl     = fs.String("jsonl", "", "sim: write the telemetry JSONL dump to this file at exit")
@@ -96,6 +111,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if err := cfg.Validate(); err != nil {
 		return err
+	}
+
+	if *nodes > 0 {
+		if *backend == "stdio" {
+			return fmt.Errorf("-nodes requires the sim backend, not %q", *backend)
+		}
+		return runFleet(cfg, fleetParams{
+			nodes:    *nodes,
+			shards:   *shards,
+			periods:  *periods,
+			hollow:   *hollow,
+			swap:     *swap,
+			listen:   *listen,
+			snapshot: *snapshot,
+			restore:  *restore,
+			timeline: *timeline,
+			jsonl:    *jsonl,
+		}, stdout, stderr)
+	}
+	if *snapshot != "" || *restore != "" {
+		return fmt.Errorf("-snapshot/-restore need fleet mode (-nodes N)")
 	}
 
 	// Any observability output needs the telemetry plane; the daemon and
@@ -207,6 +243,154 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if srv != nil {
 		// Keep answering scrapes until asked to stop, then drain.
+		select {
+		case <-interrupted:
+		case <-sigc:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stderr, "atcd: telemetry server closed")
+	}
+	return nil
+}
+
+// fleetParams carries the fleet-mode flag values into runFleet.
+type fleetParams struct {
+	nodes, shards, periods    int
+	hollow                    bool
+	swap                      string
+	listen, snapshot, restore string
+	timeline, jsonl           string
+}
+
+// runFleet drives the sharded fleet control plane against a simulated
+// N-node cluster: restore-at-start, the same signal/HTTP lifecycle as
+// the single-node path, and snapshot-at-exit taken at the final period
+// barrier (all queues drained, so the snapshot is deterministic).
+func runFleet(cfg core.Config, p fleetParams, stdout, stderr io.Writer) error {
+	var plane *telemetry.Plane
+	if p.listen != "" || p.timeline != "" || p.jsonl != "" {
+		plane = telemetry.New(telemetry.Options{})
+	}
+	switches, err := parseSwitches(p.swap)
+	if err != nil {
+		return err
+	}
+	sb, err := daemon.NewSimBackend(daemon.SimBackendConfig{
+		Nodes:      p.nodes,
+		Class:      workload.ClassB,
+		MaxPeriods: p.periods,
+		Switches:   switches,
+		Telemetry:  plane,
+		Hollow:     p.hollow,
+	})
+	if err != nil {
+		return err
+	}
+	if p.timeline != "" {
+		sb.World.SetTracer(vmm.NewTracer(timelineTraceCap))
+	}
+	f := daemon.NewFleet(cfg, sb, sb, daemon.FleetOptions{
+		Shards:   p.shards,
+		MaxNodes: p.nodes,
+	})
+	defer f.Close()
+	if plane != nil {
+		f.SetTelemetry(plane.Global(), sb.Now)
+	}
+
+	if p.restore != "" {
+		raw, err := os.ReadFile(p.restore)
+		if err != nil {
+			return fmt.Errorf("restore: %w", err)
+		}
+		snap, err := daemon.DecodeSnapshot(raw)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", p.restore, err)
+		}
+		if err := f.Restore(snap); err != nil {
+			return fmt.Errorf("restore %s: %w", p.restore, err)
+		}
+		fmt.Fprintf(stderr, "atcd: restored %d nodes from %s (%d skipped)\n",
+			f.RestoredNodes(), p.restore, f.SkippedRestoreNodes())
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	loopDone := make(chan struct{})
+	interrupted := make(chan struct{})
+	go func() {
+		select {
+		case <-sigc:
+			close(interrupted)
+			f.Stop()
+		case <-loopDone:
+		}
+	}()
+
+	var srv *http.Server
+	if p.listen != "" {
+		ln, err := net.Listen("tcp", p.listen)
+		if err != nil {
+			return err
+		}
+		srv = &http.Server{Handler: telemetry.Handler(plane.Snapshot, func() map[string]any {
+			table := f.Table()
+			policies := sb.NodePolicies()
+			for i := range table {
+				if n := table[i].Node; n >= 0 && n < len(policies) {
+					table[i].Policy = policies[n]
+				}
+			}
+			return map[string]any{
+				"fleet": f.Summary(),
+				"nodes": table,
+			}
+		})}
+		fmt.Fprintf(stderr, "atcd: serving telemetry on http://%s\n", ln.Addr())
+		if listenReady != nil {
+			listenReady(ln.Addr().String())
+		}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+	}
+
+	runErr := f.Run()
+	close(loopDone)
+	if runErr != nil && !daemon.IsDone(runErr) {
+		return runErr
+	}
+	fmt.Fprintf(stderr, "atcd: fleet of %d nodes: %d control periods, %d decisions applied\n",
+		len(f.Nodes()), f.Periods(), f.Decisions())
+
+	if p.snapshot != "" {
+		snap := f.Snapshot()
+		enc, err := snap.Encode()
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if err := os.WriteFile(p.snapshot, enc, 0o644); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		fmt.Fprintf(stderr, "atcd: snapshot of %d nodes written to %s\n", len(snap.Nodes), p.snapshot)
+	}
+
+	sb.FinalizeTelemetry(plane)
+	var rounds int
+	for _, r := range sb.Runs() {
+		rounds += r.Rounds()
+	}
+	fmt.Fprintf(stdout, "sim backend: %d application rounds completed in %v of virtual time\n",
+		rounds, sb.World.Eng.Now())
+	if err := flushArtifacts(p.timeline, p.jsonl, plane, sb); err != nil {
+		return err
+	}
+	if srv != nil {
 		select {
 		case <-interrupted:
 		case <-sigc:

@@ -192,6 +192,144 @@ func TestDemoBackend(t *testing.T) {
 	}
 }
 
+// TestFleetSnapshotRoundTrip drives atcd's fleet mode end to end: a
+// hollow 8-node run writes a snapshot at exit, a second process
+// restores from it and keeps going, and the /debug/atc surface of the
+// first run exposes the per-node fleet table with policies.
+func TestFleetSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap1 := filepath.Join(dir, "fleet1.json")
+	snap2 := filepath.Join(dir, "fleet2.json")
+
+	addrc := make(chan string, 1)
+	listenReady = func(addr string) { addrc <- addr }
+	defer func() { listenReady = nil }()
+
+	var stdout, stderr bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-nodes", "8", "-shards", "2", "-hollow", "-periods", "30",
+			"-snapshot", snap1, "-listen", "127.0.0.1:0",
+		}, &stdout, &stderr)
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("fleet run exited before listening: %v\n%s", err, stderr.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the fleet listener")
+	}
+
+	// /debug/atc must expose the fleet summary and the per-node table.
+	type fleetDebug struct {
+		Summary struct {
+			Fleet struct {
+				Nodes   int    `json:"nodes"`
+				Shards  int    `json:"shards"`
+				Periods uint64 `json:"periods"`
+			} `json:"fleet"`
+			Nodes []struct {
+				Node   int    `json:"node"`
+				Policy string `json:"policy"`
+			} `json:"nodes"`
+		} `json:"summary"`
+	}
+	var dbg fleetDebug
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet table never filled: %+v", dbg.Summary)
+		}
+		resp, err := http.Get("http://" + addr + "/debug/atc")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err := json.Unmarshal(body, &dbg); err != nil {
+				t.Fatalf("/debug/atc is not JSON: %v\n%s", err, body)
+			}
+			if dbg.Summary.Fleet.Periods > 0 && len(dbg.Summary.Nodes) == 8 {
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if dbg.Summary.Fleet.Nodes != 8 || dbg.Summary.Fleet.Shards != 2 {
+		t.Errorf("fleet summary = %+v, want 8 nodes over 2 shards", dbg.Summary.Fleet)
+	}
+	for _, row := range dbg.Summary.Nodes {
+		if row.Policy == "" {
+			t.Errorf("node %d has no policy in the fleet table", row.Node)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("fleet run failed: %v\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("fleet run did not exit after SIGINT")
+	}
+	if !strings.Contains(stderr.String(), "snapshot of 8 nodes written") {
+		t.Errorf("missing snapshot confirmation:\n%s", stderr.String())
+	}
+
+	// Second process: restore and continue without the HTTP surface.
+	stdout.Reset()
+	stderr.Reset()
+	if err := run([]string{
+		"-nodes", "8", "-shards", "4", "-hollow", "-periods", "30",
+		"-restore", snap1, "-snapshot", snap2,
+	}, &stdout, &stderr); err != nil {
+		t.Fatalf("restored fleet run failed: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "restored 8 nodes from") {
+		t.Errorf("missing restore confirmation:\n%s", stderr.String())
+	}
+	raw, err := os.ReadFile(snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Version int `json:"version"`
+		Nodes   []struct {
+			Periods uint64 `json:"periods"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("exit snapshot is not JSON: %v", err)
+	}
+	if out.Version != 1 || len(out.Nodes) != 8 {
+		t.Errorf("exit snapshot: version=%d nodes=%d, want version 1 with 8 nodes", out.Version, len(out.Nodes))
+	}
+	// The restored run continued from the first run's state: its nodes
+	// carry more committed periods than one 30-period run can produce.
+	for _, n := range out.Nodes {
+		if n.Periods <= 30 {
+			t.Errorf("restored node periods = %d, want > 30 (carried over)", n.Periods)
+		}
+	}
+}
+
+// TestFleetFlagValidation pins the fleet-mode flag guards.
+func TestFleetFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-nodes", "4", "-backend", "stdio"}, &stdout, &stderr); err == nil {
+		t.Fatal("fleet mode accepted the stdio backend")
+	}
+	if err := run([]string{"-snapshot", "x.json"}, &stdout, &stderr); err == nil {
+		t.Fatal("-snapshot without -nodes did not error")
+	}
+	if err := run([]string{"-nodes", "2", "-restore", "/does/not/exist.json"}, &stdout, &stderr); err == nil {
+		t.Fatal("missing -restore file did not error")
+	}
+}
+
 // TestBadFlags proves flag errors surface as errors, not exits.
 func TestBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer

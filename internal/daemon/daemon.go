@@ -9,12 +9,17 @@
 // The daemon is written against two small interfaces so the same loop
 // drives a real actuator, a file-based one, or the in-memory fake used
 // in tests and the demo.
+//
+// Two drivers share the per-node control logic (nodeLoop): Daemon runs
+// one node's loop inline, and Fleet (fleet.go) shards many nodes' loops
+// across goroutines behind a batched ingest queue.
 package daemon
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,9 +68,12 @@ type Options struct {
 	// RetryBackoff is the delay before the first retry (default 10 ms,
 	// doubling per retry).
 	RetryBackoff time.Duration
-	// Sleep performs the backoff wait (default time.Sleep; tests inject
-	// a recorder). The wait is wall-clock — actuator recovery is a
-	// property of the real platform, not of virtual time.
+	// Sleep performs the backoff wait (tests inject a recorder). The
+	// wait is wall-clock — actuator recovery is a property of the real
+	// platform, not of virtual time. When nil (the default) the daemon
+	// waits on the wall clock but wakes early once Stop is called, so a
+	// shutdown is not held hostage by a long backoff; the remaining
+	// retry attempts still run, draining the in-flight actuation.
 	Sleep func(time.Duration)
 	// GiveUpAfter is the number of consecutive dropped periods after
 	// which the loop gives up with a terminal error (default 5).
@@ -81,9 +89,21 @@ func DefaultOptions() Options {
 	return Options{
 		MaxRetries:   3,
 		RetryBackoff: 10 * time.Millisecond,
-		Sleep:        time.Sleep,
 		GiveUpAfter:  5,
 		StaleAfter:   2,
+	}
+}
+
+// sanitize clamps nonsense option values.
+func (o *Options) sanitize() {
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.GiveUpAfter < 1 {
+		o.GiveUpAfter = 1
+	}
+	if o.StaleAfter < 1 {
+		o.StaleAfter = 1
 	}
 }
 
@@ -113,17 +133,25 @@ func WithStaleAfter(n int) Option {
 // Stats counts the hardened loop's fault handling.
 type Stats struct {
 	// Retries counts Apply re-attempts (not first attempts).
-	Retries uint64
+	Retries uint64 `json:"retries"`
 	// DroppedPeriods counts periods whose actuation never landed; their
 	// decisions were discarded and no state was committed.
-	DroppedPeriods uint64
+	DroppedPeriods uint64 `json:"droppedPeriods"`
 	// StaleSamples counts samples skipped because their sequence number
 	// did not advance.
-	StaleSamples uint64
+	StaleSamples uint64 `json:"staleSamples"`
 	// Degraded counts per-VM period decisions where a monitoring
 	// blackout moved a parallel VM's slice toward the default instead
 	// of acting on stale data.
-	Degraded uint64
+	Degraded uint64 `json:"degraded"`
+}
+
+// add accumulates another node's counters (fleet aggregation).
+func (s *Stats) add(o Stats) {
+	s.Retries += o.Retries
+	s.DroppedPeriods += o.DroppedPeriods
+	s.StaleSamples += o.StaleSamples
+	s.Degraded += o.Degraded
 }
 
 // vmMeta is the classification the daemon remembers for VMs it has
@@ -133,11 +161,15 @@ type vmMeta struct {
 	admin    sim.Time
 }
 
-// Daemon wires a Source and an Actuator to the ATC controller.
-type Daemon struct {
+// nodeLoop is the per-node heart of the control plane: one controller
+// plus the commit-on-success / stale-detection / blackout-degradation /
+// retry-accounting state hardened in PR 5. Daemon drives exactly one
+// nodeLoop inline; Fleet owns one per fleet node, sharded across
+// goroutines. The split is mechanical — decide/commit/applyWithRetry
+// are the former Daemon.Step body — so both drivers are byte-identical
+// in behaviour per node.
+type nodeLoop struct {
 	ctl  *core.Controller
-	src  Source
-	act  Actuator
 	opts Options
 	last map[int]sim.Time
 
@@ -150,40 +182,14 @@ type Daemon struct {
 
 	periods uint64
 	stats   Stats
-
-	// stop asks Run to return at the next step boundary (signal-driven
-	// shutdown); tel/telClock publish controller decisions into a
-	// telemetry registry when attached.
-	stop     atomic.Bool
-	tel      *telemetry.Registry
-	telClock func() sim.Time
-	telSteps uint64
 }
 
-// New builds a daemon; cfg zero-value panics (use core.DefaultConfig()).
-// Options default to DefaultOptions.
-func New(cfg core.Config, src Source, act Actuator, opts ...Option) *Daemon {
-	if src == nil || act == nil {
-		panic("daemon: nil source or actuator")
-	}
-	o := DefaultOptions()
-	for _, fn := range opts {
-		fn(&o)
-	}
-	if o.MaxRetries < 0 {
-		o.MaxRetries = 0
-	}
-	if o.GiveUpAfter < 1 {
-		o.GiveUpAfter = 1
-	}
-	if o.StaleAfter < 1 {
-		o.StaleAfter = 1
-	}
-	return &Daemon{
+// newNodeLoop builds one node's control state. opts must already be
+// sanitized; cfg zero-value panics (use core.DefaultConfig()).
+func newNodeLoop(cfg core.Config, opts Options) *nodeLoop {
+	return &nodeLoop{
 		ctl:       core.NewController(cfg),
-		src:       src,
-		act:       act,
-		opts:      o,
+		opts:      opts,
 		last:      make(map[int]sim.Time),
 		lastSeq:   make(map[int]uint64),
 		staleRuns: make(map[int]int),
@@ -191,133 +197,57 @@ func New(cfg core.Config, src Source, act Actuator, opts ...Option) *Daemon {
 	}
 }
 
-// Controller exposes the underlying controller (diagnostics).
-func (d *Daemon) Controller() *core.Controller { return d.ctl }
-
-// SetTelemetry attaches a registry (usually a Plane's global registry)
-// the daemon publishes controller decisions into: a "decision" span per
-// step, apply/drop/giveup counters, and per-VM slice series. clock
-// supplies the sim-time axis (e.g. World.Now for the sim backend); when
-// nil, steps are placed on a synthetic 30 ms grid.
-func (d *Daemon) SetTelemetry(reg *telemetry.Registry, clock func() sim.Time) {
-	d.tel = reg
-	d.telClock = clock
-}
-
-// Stop asks Run to return cleanly before its next step. Safe to call
-// from another goroutine (e.g. a signal handler).
-func (d *Daemon) Stop() { d.stop.Store(true) }
-
-// telNow returns the current telemetry timestamp.
-func (d *Daemon) telNow() sim.Time {
-	if d.telClock != nil {
-		return d.telClock()
-	}
-	return sim.Time(d.telSteps) * 30 * sim.Millisecond
-}
-
-// publishStep records one control period's outcome in the telemetry
-// registry (tel is non-nil when called).
-func (d *Daemon) publishStep(start sim.Time, outcome string, slices map[int]sim.Time) {
-	d.telSteps++
-	now := d.telNow()
-	if now < start {
-		now = start
-	}
-	lab := telemetry.GlobalLabel()
-	d.tel.AddSpan(telemetry.Span{
-		Name: "decision", Track: "daemon", Node: -1, Start: start, End: now,
-	})
-	d.tel.Add("daemon_decision_"+outcome, lab, 1)
-	d.tel.SetCount("daemon_retries", lab, d.stats.Retries)
-	d.tel.SetCount("daemon_dropped_periods", lab, d.stats.DroppedPeriods)
-	d.tel.SetCount("daemon_stale_samples", lab, d.stats.StaleSamples)
-	d.tel.SetCount("daemon_degraded", lab, d.stats.Degraded)
-	for id, sl := range slices {
-		d.tel.Point("daemon_slice_ns",
-			telemetry.Label{Node: -1, VM: fmt.Sprintf("vm%d", id)}, now, float64(sl))
-	}
-}
-
-// Periods returns how many control periods have committed (a dropped
-// period does not count — its decisions never took effect).
-func (d *Daemon) Periods() uint64 { return d.periods }
-
-// Stats returns the fault-handling counters.
-func (d *Daemon) Stats() Stats { return d.stats }
-
-// Step executes one control period: sample, observe, decide, actuate.
-// It returns io.EOF when the source is exhausted. Controller history
-// (`last`, `periods`) is committed only after the actuation succeeds,
-// so a failed Apply can never record a slice that never took effect. A
-// period whose actuation fails through all retries is dropped (nil
-// error — the loop continues) unless GiveUpAfter consecutive periods
-// have dropped, which is terminal.
-func (d *Daemon) Step() error {
-	var telStart sim.Time
-	if d.tel != nil {
-		telStart = d.telNow()
-	}
-	samples, err := d.src.Sample()
-	if err != nil {
-		return err
-	}
+// decide consumes one period's samples: stale-filter, feed the
+// controller, run Algorithm 2, degrade blacked-out VMs. It advances
+// controller history but commits nothing — call commit only after the
+// actuation lands, so a failed Apply can never record a slice that
+// never took effect.
+func (l *nodeLoop) decide(samples []VMSample) map[int]sim.Time {
 	seen := make(map[int]bool, len(samples))
 	infos := make([]core.VMInfo, 0, len(samples))
 	for _, s := range samples {
 		seen[s.ID] = true
-		if _, ok := d.known[s.ID]; !ok {
-			d.known[s.ID] = vmMeta{parallel: s.Parallel, admin: s.AdminSlice}
+		if _, ok := l.known[s.ID]; !ok {
+			l.known[s.ID] = vmMeta{parallel: s.Parallel, admin: s.AdminSlice}
 		}
-		if s.Seq != 0 && s.Seq <= d.lastSeq[s.ID] {
+		if s.Seq != 0 && s.Seq <= l.lastSeq[s.ID] {
 			// The monitor is repeating itself; skip the observation
 			// rather than feeding old data back into the controller.
-			d.stats.StaleSamples++
-			d.staleRuns[s.ID]++
+			l.stats.StaleSamples++
+			l.staleRuns[s.ID]++
 			continue
 		}
 		if s.Seq != 0 {
-			d.lastSeq[s.ID] = s.Seq
+			l.lastSeq[s.ID] = s.Seq
 		}
-		d.staleRuns[s.ID] = 0
-		d.known[s.ID] = vmMeta{parallel: s.Parallel, admin: s.AdminSlice}
-		inForce, ok := d.last[s.ID]
+		l.staleRuns[s.ID] = 0
+		l.known[s.ID] = vmMeta{parallel: s.Parallel, admin: s.AdminSlice}
+		inForce, ok := l.last[s.ID]
 		if !ok {
-			inForce = d.ctl.Config().Default
+			inForce = l.ctl.Config().Default
 		}
-		d.ctl.Observe(s.ID, s.AvgSpinLatency, inForce)
+		l.ctl.Observe(s.ID, s.AvgSpinLatency, inForce)
 		infos = append(infos, core.VMInfo{ID: s.ID, Parallel: s.Parallel, AdminSlice: s.AdminSlice})
 	}
 	// A known VM missing from the sample set entirely is a dropout —
 	// the other face of a monitoring blackout.
-	for id := range d.known {
+	for id := range l.known {
 		if !seen[id] {
-			d.staleRuns[id]++
+			l.staleRuns[id]++
 		}
 	}
-	slices := d.ctl.NodeSlices(infos)
-	d.degradeBlackedOut(slices)
-	committed, err := d.applyWithRetry(slices)
-	if err != nil {
-		if d.tel != nil {
-			d.publishStep(telStart, "giveup", slices)
-		}
-		return err
-	}
-	if !committed {
-		if d.tel != nil {
-			d.publishStep(telStart, "drop", slices)
-		}
-		return nil // period dropped; no state committed
-	}
+	slices := l.ctl.NodeSlices(infos)
+	l.degradeBlackedOut(slices)
+	return slices
+}
+
+// commit records a landed actuation: the slices become the in-force
+// history and the period counts.
+func (l *nodeLoop) commit(slices map[int]sim.Time) {
 	for id, sl := range slices {
-		d.last[id] = sl
+		l.last[id] = sl
 	}
-	d.periods++
-	if d.tel != nil {
-		d.publishStep(telStart, "apply", slices)
-	}
-	return nil
+	l.periods++
 }
 
 // degradeBlackedOut overrides the decisions for VMs whose monitoring is
@@ -326,20 +256,20 @@ func (d *Daemon) Step() error {
 // toward the controller default by Alpha per period — the same fallback
 // the paper applies to VMs it cannot adapt. Non-parallel VMs revert to
 // their admin slice (or the default) immediately at the threshold.
-func (d *Daemon) degradeBlackedOut(slices map[int]sim.Time) {
-	def := d.ctl.Config().Default
-	step := d.ctl.Config().Alpha
-	for id, runs := range d.staleRuns {
+func (l *nodeLoop) degradeBlackedOut(slices map[int]sim.Time) {
+	def := l.ctl.Config().Default
+	step := l.ctl.Config().Alpha
+	for id, runs := range l.staleRuns {
 		if runs == 0 {
 			continue
 		}
-		cur, ok := d.last[id]
+		cur, ok := l.last[id]
 		if !ok {
 			cur = def
 		}
-		meta := d.known[id]
+		meta := l.known[id]
 		switch {
-		case runs < d.opts.StaleAfter:
+		case runs < l.opts.StaleAfter:
 			slices[id] = cur
 		case !meta.parallel:
 			if meta.admin > 0 {
@@ -350,7 +280,7 @@ func (d *Daemon) degradeBlackedOut(slices map[int]sim.Time) {
 		default:
 			next := stepToward(cur, def, step)
 			if next != cur {
-				d.stats.Degraded++
+				l.stats.Degraded++
 			}
 			slices[id] = next
 		}
@@ -375,38 +305,199 @@ func stepToward(cur, target, step sim.Time) sim.Time {
 }
 
 // applyWithRetry drives one period's actuation through the retry
-// policy. It returns (true, nil) when the slices landed, (false, nil)
-// when the period was dropped after exhausting retries, and a terminal
-// error after GiveUpAfter consecutive dropped periods.
-func (d *Daemon) applyWithRetry(slices map[int]sim.Time) (bool, error) {
-	backoff := d.opts.RetryBackoff
+// policy. apply performs one attempt; wait performs the backoff (nil
+// skips waiting). It returns (true, nil) when the slices landed,
+// (false, nil) when the period was dropped after exhausting retries,
+// and a terminal error after GiveUpAfter consecutive dropped periods.
+func (l *nodeLoop) applyWithRetry(slices map[int]sim.Time, apply func(map[int]sim.Time) error, wait func(time.Duration)) (bool, error) {
+	backoff := l.opts.RetryBackoff
 	var err error
 	for attempt := 0; ; attempt++ {
-		if err = d.act.Apply(slices); err == nil {
-			d.consecDrops = 0
+		if err = apply(slices); err == nil {
+			l.consecDrops = 0
 			return true, nil
 		}
-		if attempt >= d.opts.MaxRetries {
+		if attempt >= l.opts.MaxRetries {
 			break
 		}
-		d.stats.Retries++
-		if d.opts.Sleep != nil && backoff > 0 {
-			d.opts.Sleep(backoff)
+		l.stats.Retries++
+		if wait != nil && backoff > 0 {
+			wait(backoff)
 		}
 		backoff *= 2
 	}
-	d.stats.DroppedPeriods++
-	d.consecDrops++
-	if d.consecDrops >= d.opts.GiveUpAfter {
+	l.stats.DroppedPeriods++
+	l.consecDrops++
+	if l.consecDrops >= l.opts.GiveUpAfter {
 		return false, fmt.Errorf("daemon: giving up after %d consecutive dropped periods (%d attempts each): %w",
-			d.consecDrops, d.opts.MaxRetries+1, err)
+			l.consecDrops, l.opts.MaxRetries+1, err)
 	}
 	return false, nil
 }
 
+// Daemon wires a Source and an Actuator to the ATC controller for one
+// node, driven inline.
+type Daemon struct {
+	loop *nodeLoop
+	src  Source
+	act  Actuator
+	opts Options
+
+	// stop asks Run to return at the next step boundary (signal-driven
+	// shutdown); stopc additionally wakes a backoff wait early so the
+	// in-flight actuation drains instead of blocking shutdown.
+	stop     atomic.Bool
+	stopc    chan struct{}
+	stopOnce sync.Once
+
+	// tel/telClock publish controller decisions into a telemetry
+	// registry when attached.
+	tel      *telemetry.Registry
+	telClock func() sim.Time
+	telSteps uint64
+}
+
+// New builds a daemon; cfg zero-value panics (use core.DefaultConfig()).
+// Options default to DefaultOptions.
+func New(cfg core.Config, src Source, act Actuator, opts ...Option) *Daemon {
+	if src == nil || act == nil {
+		panic("daemon: nil source or actuator")
+	}
+	o := DefaultOptions()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	o.sanitize()
+	return &Daemon{
+		loop:  newNodeLoop(cfg, o),
+		src:   src,
+		act:   act,
+		opts:  o,
+		stopc: make(chan struct{}),
+	}
+}
+
+// Controller exposes the underlying controller (diagnostics).
+func (d *Daemon) Controller() *core.Controller { return d.loop.ctl }
+
+// SetTelemetry attaches a registry (usually a Plane's global registry)
+// the daemon publishes controller decisions into: a "decision" span per
+// step, apply/drop/giveup counters, and per-VM slice series. clock
+// supplies the sim-time axis (e.g. World.Now for the sim backend); when
+// nil, steps are placed on a synthetic 30 ms grid.
+func (d *Daemon) SetTelemetry(reg *telemetry.Registry, clock func() sim.Time) {
+	d.tel = reg
+	d.telClock = clock
+}
+
+// Stop asks Run to return cleanly before its next step and wakes any
+// in-progress backoff wait, letting the current period's remaining
+// retry attempts drain immediately. Safe to call from another goroutine
+// (e.g. a signal handler).
+func (d *Daemon) Stop() {
+	d.stop.Store(true)
+	d.stopOnce.Do(func() { close(d.stopc) })
+}
+
+// wait performs one retry backoff. An injected Options.Sleep is used
+// verbatim; the default waits on the wall clock but returns as soon as
+// Stop is called so shutdown is never held behind a long backoff —
+// the retry attempts themselves still run (stop drains, it does not
+// abandon the in-flight actuation).
+func (d *Daemon) wait(dt time.Duration) {
+	if d.opts.Sleep != nil {
+		d.opts.Sleep(dt)
+		return
+	}
+	t := time.NewTimer(dt)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-d.stopc:
+	}
+}
+
+// telNow returns the current telemetry timestamp.
+func (d *Daemon) telNow() sim.Time {
+	if d.telClock != nil {
+		return d.telClock()
+	}
+	return sim.Time(d.telSteps) * 30 * sim.Millisecond
+}
+
+// publishStep records one control period's outcome in the telemetry
+// registry (tel is non-nil when called).
+func (d *Daemon) publishStep(start sim.Time, outcome string, slices map[int]sim.Time) {
+	d.telSteps++
+	now := d.telNow()
+	if now < start {
+		now = start
+	}
+	lab := telemetry.GlobalLabel()
+	d.tel.AddSpan(telemetry.Span{
+		Name: "decision", Track: "daemon", Node: -1, Start: start, End: now,
+	})
+	d.tel.Add("daemon_decision_"+outcome, lab, 1)
+	d.tel.SetCount("daemon_retries", lab, d.loop.stats.Retries)
+	d.tel.SetCount("daemon_dropped_periods", lab, d.loop.stats.DroppedPeriods)
+	d.tel.SetCount("daemon_stale_samples", lab, d.loop.stats.StaleSamples)
+	d.tel.SetCount("daemon_degraded", lab, d.loop.stats.Degraded)
+	for id, sl := range slices {
+		d.tel.Point("daemon_slice_ns",
+			telemetry.Label{Node: -1, VM: fmt.Sprintf("vm%d", id)}, now, float64(sl))
+	}
+}
+
+// Periods returns how many control periods have committed (a dropped
+// period does not count — its decisions never took effect).
+func (d *Daemon) Periods() uint64 { return d.loop.periods }
+
+// Stats returns the fault-handling counters.
+func (d *Daemon) Stats() Stats { return d.loop.stats }
+
+// Step executes one control period: sample, observe, decide, actuate.
+// It returns io.EOF when the source is exhausted. Controller history
+// (`last`, `periods`) is committed only after the actuation succeeds,
+// so a failed Apply can never record a slice that never took effect. A
+// period whose actuation fails through all retries is dropped (nil
+// error — the loop continues) unless GiveUpAfter consecutive periods
+// have dropped, which is terminal.
+func (d *Daemon) Step() error {
+	var telStart sim.Time
+	if d.tel != nil {
+		telStart = d.telNow()
+	}
+	samples, err := d.src.Sample()
+	if err != nil {
+		return err
+	}
+	slices := d.loop.decide(samples)
+	committed, err := d.loop.applyWithRetry(slices, d.act.Apply, d.wait)
+	if err != nil {
+		if d.tel != nil {
+			d.publishStep(telStart, "giveup", slices)
+		}
+		return err
+	}
+	if !committed {
+		if d.tel != nil {
+			d.publishStep(telStart, "drop", slices)
+		}
+		return nil // period dropped; no state committed
+	}
+	d.loop.commit(slices)
+	if d.tel != nil {
+		d.publishStep(telStart, "apply", slices)
+	}
+	return nil
+}
+
 // Run executes Step until the source returns io.EOF (clean end), a step
 // fails terminally, or Stop is called. Transient actuator failures are
-// absorbed by Step's retry/drop policy and do not end the loop.
+// absorbed by Step's retry/drop policy and do not end the loop. A Stop
+// arriving mid-step never truncates it: the step's remaining retry
+// attempts run (with their backoff waits cut short), so the final Apply
+// is drained, not dropped.
 func (d *Daemon) Run() error {
 	for !d.stop.Load() {
 		if err := d.Step(); err != nil {

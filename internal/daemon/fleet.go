@@ -1,0 +1,660 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atcsched/internal/core"
+	"atcsched/internal/runner"
+	"atcsched/internal/sim"
+	"atcsched/internal/telemetry"
+)
+
+// NodeBatch is one fleet node's telemetry for one control period.
+type NodeBatch struct {
+	Node    int
+	Samples []VMSample
+}
+
+// FleetSource provides one period's batches for every live node (a node
+// in blackout simply contributes no batch). io.EOF ends the control
+// loop cleanly.
+type FleetSource interface {
+	SampleFleet() ([]NodeBatch, error)
+}
+
+// FleetActuator applies one node's slices.
+type FleetActuator interface {
+	ApplyNode(node int, slices map[int]sim.Time) error
+}
+
+// FleetOptions size the fleet control plane.
+type FleetOptions struct {
+	// Node carries the per-node hardened-loop options (retry/stale/
+	// giveup — the PR 5 machinery, applied per fleet node).
+	Node Options
+	// Shards is the number of decider/applier goroutine pairs the
+	// per-node controller state is sharded across (hash(node)→shard;
+	// default 1). There are no cross-shard locks on the hot path.
+	Shards int
+	// IngestCapacity bounds the central telemetry ring buffer (default
+	// 256 batches). Ingest blocks when the ring is full: backpressure,
+	// not silent loss.
+	IngestCapacity int
+	// QueueCapacity bounds each node's actuation queue (default 4).
+	// When a node's queue is full the OLDEST queued decision for that
+	// node is dropped — it has been superseded by fresher data — and
+	// counted in Overflow plus the node's DroppedPeriods.
+	QueueCapacity int
+	// MaxNodes, when positive, bounds the node IDs the fleet accepts:
+	// batches and snapshot entries for nodes outside [0,MaxNodes) are
+	// counted and ignored rather than growing state without bound.
+	MaxNodes int
+}
+
+// sanitize fills defaults.
+func (o *FleetOptions) sanitize() {
+	o.Node.sanitize()
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.IngestCapacity < 1 {
+		o.IngestCapacity = 256
+	}
+	if o.QueueCapacity < 1 {
+		o.QueueCapacity = 4
+	}
+}
+
+// fleetShardSalt seeds the node→shard hash (splitmix64 via runner.Seed)
+// so shard assignment is deterministic across runs and restores.
+const fleetShardSalt = 0xa7c15f1ee7
+
+// ingestItem is one batch in flight through the pipeline.
+type ingestItem struct {
+	batch NodeBatch
+	enq   time.Time
+	done  func()
+}
+
+// actItem is one decided-but-not-yet-applied actuation.
+type actItem struct {
+	node   int
+	slices map[int]sim.Time
+	enq    time.Time
+	done   func()
+}
+
+// fleetNode is one node's control state plus the lock that lets the
+// shard's decider and applier (and Table/Snapshot readers) interleave
+// safely. The lock is released around the blocking ApplyNode call so a
+// wedged actuator never stalls deciding for the same node.
+type fleetNode struct {
+	mu         sync.Mutex
+	loop       *nodeLoop
+	lastCommit time.Time // wall clock of the last committed actuation
+}
+
+// fleetShard owns a disjoint subset of nodes: one decider goroutine
+// draining batchc into per-node decisions, one applier goroutine
+// draining the bounded actuation queue. Shards share nothing but the
+// Fleet's counters (atomics), so the hot path takes no cross-shard
+// locks.
+type fleetShard struct {
+	f      *Fleet
+	batchc chan ingestItem
+
+	mu    sync.Mutex // guards nodes
+	nodes map[int]*fleetNode
+
+	qmu     sync.Mutex // guards queue/qdepth/qclosed; ordered before fleetNode.mu
+	qcond   *sync.Cond
+	queue   []*actItem
+	qdepth  map[int]int
+	qclosed bool
+}
+
+// Fleet is the thousand-node control plane: batched telemetry ingestion
+// through a bounded ring, per-node controller state (nodeLoop — the
+// exact machinery behind the single-node Daemon) sharded across
+// goroutines, and bounded per-node actuation queues with overflow
+// accounting. Step runs one fleet-wide control period with a drain
+// barrier, which keeps closed-loop simulation deterministic at any
+// shard count; Ingest/Drain expose the asynchronous surface directly.
+type Fleet struct {
+	cfg  core.Config
+	opts FleetOptions
+	src  FleetSource
+	act  FleetActuator
+
+	ingestMu sync.RWMutex // serializes Ingest sends against Close
+	ingestc  chan ingestItem
+	shards   []*fleetShard
+	inflight sync.WaitGroup
+	wg       sync.WaitGroup
+
+	stop      atomic.Bool
+	stopc     chan struct{}
+	stopOnce  sync.Once
+	closed    atomic.Bool
+	closeOnce sync.Once
+
+	errMu sync.Mutex
+	err   error
+
+	periods        atomic.Uint64 // committed fleet steps (queue cursor)
+	decisions      atomic.Uint64 // node-periods whose actuation landed
+	overflow       atomic.Uint64 // actuation-queue overflow drops
+	rejected       atomic.Uint64 // batches outside [0,MaxNodes)
+	restoredNodes  atomic.Uint64
+	skippedRestore atomic.Uint64
+
+	tel      *telemetry.Registry
+	telClock func() sim.Time
+}
+
+// NewFleet builds the fleet control plane and starts its pipeline
+// goroutines (1 dispatcher + Shards×(decider, applier)). src may be nil
+// when the caller drives Ingest/Drain directly; Step then errors.
+func NewFleet(cfg core.Config, src FleetSource, act FleetActuator, opts FleetOptions) *Fleet {
+	if act == nil {
+		panic("daemon: nil fleet actuator")
+	}
+	opts.sanitize()
+	f := &Fleet{
+		cfg:     cfg,
+		opts:    opts,
+		src:     src,
+		act:     act,
+		ingestc: make(chan ingestItem, opts.IngestCapacity),
+		stopc:   make(chan struct{}),
+	}
+	f.shards = make([]*fleetShard, opts.Shards)
+	for i := range f.shards {
+		sh := &fleetShard{
+			f:      f,
+			batchc: make(chan ingestItem, opts.IngestCapacity),
+			nodes:  make(map[int]*fleetNode),
+			qdepth: make(map[int]int),
+		}
+		sh.qcond = sync.NewCond(&sh.qmu)
+		f.shards[i] = sh
+	}
+	f.wg.Add(1)
+	go f.dispatch()
+	for _, sh := range f.shards {
+		f.wg.Add(2)
+		go sh.decideLoop()
+		go sh.applyLoop()
+	}
+	return f
+}
+
+// shardOf hashes a node ID onto its shard.
+func (f *Fleet) shardOf(node int) *fleetShard {
+	if len(f.shards) == 1 {
+		return f.shards[0]
+	}
+	return f.shards[runner.Seed(fleetShardSalt, node)%uint64(len(f.shards))]
+}
+
+// SetTelemetry attaches a registry the fleet publishes into: committed
+// decisions and overflow counters, ingest-queue depth, a wall-clock
+// decision-latency histogram (ingest→actuation-landed), and restore
+// spans. clock supplies the span time axis (nil: zero).
+func (f *Fleet) SetTelemetry(reg *telemetry.Registry, clock func() sim.Time) {
+	f.tel = reg
+	f.telClock = clock
+}
+
+func (f *Fleet) telNow() sim.Time {
+	if f.telClock != nil {
+		return f.telClock()
+	}
+	return 0
+}
+
+// Ingest queues one node's batch for decision and actuation, blocking
+// when the ring buffer is full (backpressure). Batches for nodes
+// outside MaxNodes are counted in Rejected and ignored. Returns an
+// error only after Close.
+func (f *Fleet) Ingest(b NodeBatch) error {
+	if f.opts.MaxNodes > 0 && (b.Node < 0 || b.Node >= f.opts.MaxNodes) {
+		f.rejected.Add(1)
+		return nil
+	}
+	f.ingestMu.RLock()
+	defer f.ingestMu.RUnlock()
+	if f.closed.Load() {
+		return errors.New("daemon: fleet closed")
+	}
+	f.inflight.Add(1)
+	f.ingestc <- ingestItem{batch: b, enq: time.Now(), done: f.inflight.Done}
+	return nil
+}
+
+// Drain blocks until every ingested batch has been decided and its
+// actuation has landed, overflowed, or dropped — the period barrier.
+func (f *Fleet) Drain() { f.inflight.Wait() }
+
+// dispatch drains the central ring onto the shards.
+func (f *Fleet) dispatch() {
+	defer f.wg.Done()
+	defer func() {
+		for _, sh := range f.shards {
+			close(sh.batchc)
+		}
+	}()
+	for it := range f.ingestc {
+		f.shardOf(it.batch.Node).batchc <- it
+	}
+}
+
+// node returns the shard-local state for a node, creating it on first
+// sight.
+func (sh *fleetShard) node(id int) *fleetNode {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fn, ok := sh.nodes[id]
+	if !ok {
+		fn = &fleetNode{loop: newNodeLoop(sh.f.cfg, sh.f.opts.Node)}
+		sh.nodes[id] = fn
+	}
+	return fn
+}
+
+// decideLoop turns batches into slice decisions and queues them for
+// actuation.
+func (sh *fleetShard) decideLoop() {
+	defer sh.f.wg.Done()
+	defer sh.closeQueue()
+	for it := range sh.batchc {
+		fn := sh.node(it.batch.Node)
+		fn.mu.Lock()
+		slices := fn.loop.decide(it.batch.Samples)
+		fn.mu.Unlock()
+		sh.push(&actItem{node: it.batch.Node, slices: slices, enq: it.enq, done: it.done})
+	}
+}
+
+// push appends one actuation, evicting the oldest queued decision for
+// the same node when its queue is at capacity (superseded by fresher
+// data; counted as overflow and a dropped period, but not as a
+// consecutive drop — nothing failed, the plane just fell behind).
+func (sh *fleetShard) push(it *actItem) {
+	var evicted *actItem
+	sh.qmu.Lock()
+	if sh.qdepth[it.node] >= sh.f.opts.QueueCapacity {
+		for i, old := range sh.queue {
+			if old.node == it.node {
+				sh.queue = append(sh.queue[:i], sh.queue[i+1:]...)
+				sh.qdepth[it.node]--
+				evicted = old
+				break
+			}
+		}
+	}
+	sh.queue = append(sh.queue, it)
+	sh.qdepth[it.node]++
+	sh.qcond.Signal()
+	sh.qmu.Unlock()
+	if evicted != nil {
+		sh.f.overflow.Add(1)
+		fn := sh.node(evicted.node)
+		fn.mu.Lock()
+		fn.loop.stats.DroppedPeriods++
+		fn.mu.Unlock()
+		if sh.f.tel != nil {
+			sh.f.tel.Add("fleet_actq_overflow", telemetry.GlobalLabel(), 1)
+		}
+		evicted.done()
+	}
+}
+
+// closeQueue wakes the applier for final drain-and-exit.
+func (sh *fleetShard) closeQueue() {
+	sh.qmu.Lock()
+	sh.qclosed = true
+	sh.qcond.Broadcast()
+	sh.qmu.Unlock()
+}
+
+// pop blocks for the next actuation; nil means closed and fully
+// drained.
+func (sh *fleetShard) pop() *actItem {
+	sh.qmu.Lock()
+	defer sh.qmu.Unlock()
+	for len(sh.queue) == 0 && !sh.qclosed {
+		sh.qcond.Wait()
+	}
+	if len(sh.queue) == 0 {
+		return nil
+	}
+	it := sh.queue[0]
+	sh.queue = sh.queue[1:]
+	sh.qdepth[it.node]--
+	return it
+}
+
+// applyLoop drains the actuation queue through the per-node retry
+// machinery.
+func (sh *fleetShard) applyLoop() {
+	defer sh.f.wg.Done()
+	for {
+		it := sh.pop()
+		if it == nil {
+			return
+		}
+		sh.apply(it)
+	}
+}
+
+// apply drives one actuation. The node lock is dropped around the
+// blocking ApplyNode call — a wedged actuator must not stall deciding
+// for this node — and re-taken for every state mutation, reusing
+// nodeLoop.applyWithRetry verbatim.
+func (sh *fleetShard) apply(it *actItem) {
+	defer it.done()
+	fn := sh.node(it.node)
+	fn.mu.Lock()
+	committed, err := fn.loop.applyWithRetry(it.slices, func(s map[int]sim.Time) error {
+		fn.mu.Unlock()
+		e := sh.f.act.ApplyNode(it.node, s)
+		fn.mu.Lock()
+		return e
+	}, sh.f.wait)
+	if committed {
+		fn.loop.commit(it.slices)
+		fn.lastCommit = time.Now()
+	}
+	fn.mu.Unlock()
+	if err != nil {
+		sh.f.setErr(fmt.Errorf("fleet node %d: %w", it.node, err))
+	}
+	if committed {
+		sh.f.decisions.Add(1)
+		if sh.f.tel != nil {
+			sh.f.tel.Add("fleet_decisions", telemetry.GlobalLabel(), 1)
+			sh.f.tel.Observe("fleet_decision_latency", telemetry.GlobalLabel(),
+				sim.Time(time.Since(it.enq).Nanoseconds()))
+		}
+	}
+}
+
+// wait performs one retry backoff: wall clock, cut short by Stop (the
+// remaining attempts still run — stop drains, it does not abandon).
+func (f *Fleet) wait(dt time.Duration) {
+	if f.opts.Node.Sleep != nil {
+		f.opts.Node.Sleep(dt)
+		return
+	}
+	t := time.NewTimer(dt)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-f.stopc:
+	}
+}
+
+// setErr records the first terminal error (give-up on some node);
+// further periods for other nodes keep flowing, but Step/Run surface
+// it.
+func (f *Fleet) setErr(err error) {
+	f.errMu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.errMu.Unlock()
+}
+
+// Err returns the sticky terminal error, if any.
+func (f *Fleet) Err() error {
+	f.errMu.Lock()
+	defer f.errMu.Unlock()
+	return f.err
+}
+
+// Step runs one fleet-wide control period: sample every node, ingest
+// the batches through the pipeline, and wait for the drain barrier. It
+// returns io.EOF when the source is exhausted and the sticky terminal
+// error once any node's loop has given up.
+func (f *Fleet) Step() error {
+	if err := f.Err(); err != nil {
+		return err
+	}
+	if f.src == nil {
+		return errors.New("daemon: fleet has no source; drive Ingest/Drain directly")
+	}
+	batches, err := f.src.SampleFleet()
+	if err != nil {
+		return err
+	}
+	for _, b := range batches {
+		if err := f.Ingest(b); err != nil {
+			return err
+		}
+	}
+	if f.tel != nil {
+		f.tel.SetGauge("fleet_ingest_depth", telemetry.GlobalLabel(), float64(len(f.ingestc)))
+	}
+	f.Drain()
+	f.periods.Add(1)
+	return f.Err()
+}
+
+// Run executes Step until io.EOF (clean end), a terminal error, or
+// Stop. Like Daemon.Run, a stop arriving mid-period drains the period's
+// in-flight actuations before returning.
+func (f *Fleet) Run() error {
+	for !f.stop.Load() {
+		if err := f.Step(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop asks Run to return at the next period boundary and wakes any
+// in-progress backoff waits so the in-flight actuations drain
+// immediately. Safe from any goroutine.
+func (f *Fleet) Stop() {
+	f.stop.Store(true)
+	f.stopOnce.Do(func() { close(f.stopc) })
+}
+
+// Close shuts the pipeline down after draining everything already
+// ingested. Idempotent. Ingest/Step fail afterwards.
+func (f *Fleet) Close() {
+	f.closeOnce.Do(func() {
+		f.ingestMu.Lock()
+		f.closed.Store(true)
+		close(f.ingestc)
+		f.ingestMu.Unlock()
+		f.wg.Wait()
+	})
+}
+
+// Periods returns the number of completed fleet control periods (the
+// snapshot queue cursor).
+func (f *Fleet) Periods() uint64 { return f.periods.Load() }
+
+// Decisions returns the number of node-periods whose actuation landed.
+func (f *Fleet) Decisions() uint64 { return f.decisions.Load() }
+
+// Overflow returns the number of decisions dropped to actuation-queue
+// overflow.
+func (f *Fleet) Overflow() uint64 { return f.overflow.Load() }
+
+// Rejected returns the number of batches ignored for being outside
+// MaxNodes.
+func (f *Fleet) Rejected() uint64 { return f.rejected.Load() }
+
+// RestoredNodes and SkippedRestoreNodes count Restore's accepted and
+// ignored node entries.
+func (f *Fleet) RestoredNodes() uint64       { return f.restoredNodes.Load() }
+func (f *Fleet) SkippedRestoreNodes() uint64 { return f.skippedRestore.Load() }
+
+// Nodes lists every node the fleet holds state for, sorted.
+func (f *Fleet) Nodes() []int {
+	var ids []int
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		for id := range sh.nodes {
+			ids = append(ids, id)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Stats aggregates the per-node fault-handling counters.
+func (f *Fleet) Stats() Stats {
+	var out Stats
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		nodes := make([]*fleetNode, 0, len(sh.nodes))
+		for _, fn := range sh.nodes {
+			nodes = append(nodes, fn)
+		}
+		sh.mu.Unlock()
+		for _, fn := range nodes {
+			fn.mu.Lock()
+			out.add(fn.loop.stats)
+			fn.mu.Unlock()
+		}
+	}
+	return out
+}
+
+// LastSlices returns a copy of the last committed slices for one node
+// (nil if the node is unknown).
+func (f *Fleet) LastSlices(node int) map[int]sim.Time {
+	sh := f.shardOf(node)
+	sh.mu.Lock()
+	fn, ok := sh.nodes[node]
+	sh.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	fn.mu.Lock()
+	defer fn.mu.Unlock()
+	out := make(map[int]sim.Time, len(fn.loop.last))
+	for id, sl := range fn.loop.last {
+		out[id] = sl
+	}
+	return out
+}
+
+// FleetNodeStatus is one row of the /debug/atc fleet table.
+type FleetNodeStatus struct {
+	Node int `json:"node"`
+	// Policy is the node's scheduler policy name, filled in by the
+	// backend owner (the fleet itself is policy-agnostic).
+	Policy string `json:"policy,omitempty"`
+	// VMs is the number of VMs the node's controller tracks.
+	VMs int `json:"vms"`
+	// SliceUS is the slice currently in force for the node's parallel
+	// VMs (the Algorithm-2 minimum), in microseconds; 0 when none.
+	SliceUS float64 `json:"sliceUs"`
+	// Periods counts the node's committed control periods.
+	Periods uint64 `json:"periods"`
+	// LastDecisionAgeMS is the wall-clock age of the node's last
+	// committed actuation; -1 before the first.
+	LastDecisionAgeMS float64 `json:"lastDecisionAgeMs"`
+	// QueueDepth is the node's queued-but-unapplied actuation count.
+	QueueDepth int `json:"queueDepth"`
+	// DroppedPeriods and StaleSamples are the node's fault counters.
+	DroppedPeriods uint64 `json:"droppedPeriods"`
+	StaleSamples   uint64 `json:"staleSamples"`
+}
+
+// Table renders the per-node fleet view, sorted by node ID.
+func (f *Fleet) Table() []FleetNodeStatus {
+	now := time.Now()
+	var out []FleetNodeStatus
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		ids := make([]int, 0, len(sh.nodes))
+		for id := range sh.nodes {
+			ids = append(ids, id)
+		}
+		sh.mu.Unlock()
+		for _, id := range ids {
+			fn := sh.node(id)
+			sh.qmu.Lock()
+			depth := sh.qdepth[id]
+			sh.qmu.Unlock()
+			fn.mu.Lock()
+			st := FleetNodeStatus{
+				Node:              id,
+				VMs:               len(fn.loop.known),
+				Periods:           fn.loop.periods,
+				LastDecisionAgeMS: -1,
+				QueueDepth:        depth,
+				DroppedPeriods:    fn.loop.stats.DroppedPeriods,
+				StaleSamples:      fn.loop.stats.StaleSamples,
+			}
+			if !fn.lastCommit.IsZero() {
+				st.LastDecisionAgeMS = float64(now.Sub(fn.lastCommit)) / float64(time.Millisecond)
+			}
+			minSlice := sim.Time(0)
+			for vid, meta := range fn.loop.known {
+				if !meta.parallel {
+					continue
+				}
+				if sl, ok := fn.loop.last[vid]; ok && (minSlice == 0 || sl < minSlice) {
+					minSlice = sl
+				}
+			}
+			st.SliceUS = minSlice.Micros()
+			fn.mu.Unlock()
+			out = append(out, st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// FleetSummary is the top-level fleet view for /debug/atc.
+type FleetSummary struct {
+	Nodes       int    `json:"nodes"`
+	Shards      int    `json:"shards"`
+	Periods     uint64 `json:"periods"`
+	Decisions   uint64 `json:"decisions"`
+	Overflow    uint64 `json:"overflow"`
+	Rejected    uint64 `json:"rejected,omitempty"`
+	IngestDepth int    `json:"ingestDepth"`
+	QueueDepth  int    `json:"queueDepth"`
+	Stats       Stats  `json:"stats"`
+}
+
+// Summary aggregates the fleet-wide control-plane state.
+func (f *Fleet) Summary() FleetSummary {
+	s := FleetSummary{
+		Shards:      len(f.shards),
+		Periods:     f.Periods(),
+		Decisions:   f.Decisions(),
+		Overflow:    f.Overflow(),
+		Rejected:    f.Rejected(),
+		IngestDepth: len(f.ingestc),
+		Stats:       f.Stats(),
+	}
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		s.Nodes += len(sh.nodes)
+		sh.mu.Unlock()
+		sh.qmu.Lock()
+		s.QueueDepth += len(sh.queue)
+		sh.qmu.Unlock()
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package daemon
+
+import (
+	"fmt"
+	"sort"
+
+	"atcsched/internal/sched/extslice"
+	"atcsched/internal/sim"
+	"atcsched/internal/workload"
+)
+
+// This file adapts SimBackend to the fleet control plane: the same
+// embedded cluster, but sampled as per-node batches and actuated per
+// node, so one Fleet supervises every simulated node the way one atcd
+// would supervise a rack. SimBackend therefore implements FleetSource
+// and FleetActuator alongside the single-node Source and Actuator.
+
+// hollowFleetProfile is the per-node workload in Hollow mode: short
+// compute, one ring message per iteration, no lock traffic — the same
+// kubemark shape as the scale experiment, chosen so thousand-node
+// fleets measure the control plane rather than the guest kernels.
+func hollowFleetProfile() workload.AppProfile {
+	return workload.AppProfile{
+		Name:           "hollow-ring",
+		ComputePerIter: 200 * sim.Microsecond,
+		Pattern:        workload.PatternRing,
+		MsgSize:        4 << 10,
+		Iterations:     50,
+		Footprint:      4 << 20,
+		ColdRate:       0.01,
+	}
+}
+
+// SampleFleet implements FleetSource: advance one scheduling period and
+// report each node's VM samples as one batch, sorted by node ID. While
+// a daemon-crash fault window is open the control plane is dark — no
+// batches are produced (the monitors keep accumulating, so the first
+// post-blackout sample covers the whole gap) and the period is tallied
+// in the fault report.
+func (b *SimBackend) SampleFleet() ([]NodeBatch, error) {
+	if err := b.advance(); err != nil {
+		return nil, err
+	}
+	if b.plan.DaemonDown(b.World.Eng.Now()) {
+		b.plan.CountDarkPeriod()
+		return nil, nil
+	}
+	byNode := make(map[int][]VMSample)
+	for _, vm := range b.World.GuestVMs() {
+		s, ok := b.sampleVM(vm)
+		if !ok {
+			continue
+		}
+		n := vm.Node().ID()
+		byNode[n] = append(byNode[n], s)
+	}
+	nodes := make([]int, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	out := make([]NodeBatch, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, NodeBatch{Node: n, Samples: byNode[n]})
+	}
+	return out, nil
+}
+
+// failActuation runs one fault-plan actuation draw under the backend's
+// lock (fleet shards apply concurrently; the rng cursor is shared).
+func (b *SimBackend) failActuation() error {
+	b.actMu.Lock()
+	defer b.actMu.Unlock()
+	return b.plan.FailActuation(b.World.Eng.Now())
+}
+
+// ApplyNode implements FleetActuator: write one node's slices into its
+// externally-controlled scheduler. Nodes switched to a self-adapting
+// policy own their slices and are skipped, exactly like Apply.
+func (b *SimBackend) ApplyNode(node int, slices map[int]sim.Time) error {
+	if err := b.failActuation(); err != nil {
+		return err
+	}
+	if node < 0 || node >= len(b.World.Nodes()) {
+		return fmt.Errorf("sim backend: actuation for unknown node %d", node)
+	}
+	n := b.World.Node(node)
+	sched, ok := n.Scheduler().(*extslice.Scheduler)
+	if !ok {
+		return nil
+	}
+	for _, vm := range n.VMs() {
+		if sl, ok := slices[vm.ID()]; ok {
+			sched.Set(vm.ID(), sl)
+		}
+	}
+	return nil
+}
+
+// NodePolicies returns each node's current scheduler policy name,
+// indexed by node ID — the fleet table's policy column.
+func (b *SimBackend) NodePolicies() []string {
+	nodes := b.World.Nodes()
+	out := make([]string, len(nodes))
+	for _, n := range nodes {
+		out[n.ID()] = n.Scheduler().Name()
+	}
+	return out
+}
+
+// Hollow reports whether the backend was built in hollow-node mode.
+func (b *SimBackend) Hollow() bool { return b.hollow }
+
+// Now exposes the embedded world's virtual clock (telemetry axis).
+func (b *SimBackend) Now() sim.Time { return b.World.Eng.Now() }
+
+var (
+	_ FleetSource   = (*SimBackend)(nil)
+	_ FleetActuator = (*SimBackend)(nil)
+)

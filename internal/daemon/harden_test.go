@@ -51,8 +51,8 @@ func TestFailedApplyCommitsNothing(t *testing.T) {
 	if err := d.Step(); err != nil {
 		t.Fatalf("dropped period must not be terminal: %v", err)
 	}
-	if len(d.last) != 0 {
-		t.Errorf("last-applied map committed after failed Apply: %v", d.last)
+	if len(d.loop.last) != 0 {
+		t.Errorf("last-applied map committed after failed Apply: %v", d.loop.last)
 	}
 	if d.Periods() != 0 {
 		t.Errorf("periods = %d after failed Apply, want 0", d.Periods())
@@ -68,7 +68,7 @@ func TestFailedApplyCommitsNothing(t *testing.T) {
 		if err := d.Step(); err != nil {
 			t.Fatal(err)
 		}
-		if got, want := d.last[1], act.Last[1]; got != want {
+		if got, want := d.loop.last[1], act.Last[1]; got != want {
 			t.Fatalf("period %d: committed %v differs from actuated %v", i+2, got, want)
 		}
 	}
@@ -76,7 +76,7 @@ func TestFailedApplyCommitsNothing(t *testing.T) {
 		t.Errorf("periods = %d, want 6 (the dropped one must not count)", d.Periods())
 	}
 	def := core.DefaultConfig().Default
-	if got := d.last[1]; got >= def {
+	if got := d.loop.last[1]; got >= def {
 		t.Errorf("sustained contention left slice at %v, want shortened below %v", got, def)
 	}
 }

@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"fmt"
+	"sync"
 
 	"atcsched/internal/fault"
 	"atcsched/internal/netmodel"
@@ -34,6 +35,13 @@ type SimBackend struct {
 	runs       []*workload.ParallelRun
 	switches   []PolicySwitch
 	plan       *fault.Plan
+	hollow     bool
+
+	// actMu serializes fault-plan actuation draws: fleet shards apply
+	// concurrently (the world itself is quiescent at that point — Apply
+	// runs between Step barriers), but the plan's rng stream is one
+	// shared cursor.
+	actMu sync.Mutex
 }
 
 // SimBackendConfig sizes the embedded scenario.
@@ -63,6 +71,13 @@ type SimBackendConfig struct {
 	// embedded world before it starts, so a live atcd run exposes
 	// per-node spin-latency and slice series over HTTP.
 	Telemetry *telemetry.Plane
+	// Hollow shrinks each node to kubemark proportions (two PCPUs,
+	// single-VCPU dom0, one single-VCPU VM per node running a light
+	// ring-exchange kernel) so a thousand-node fleet stays buildable:
+	// the fleet harness measures control-plane throughput, not
+	// scheduler policy. Clusters defaults to 1 and VCPUsPerVM is forced
+	// to 1 in this mode.
+	Hollow bool
 }
 
 // PolicySwitch flips a node's scheduling policy at a control period.
@@ -87,6 +102,9 @@ func NewSimBackend(cfg SimBackendConfig) (*SimBackend, error) {
 	}
 	if cfg.Clusters == 0 {
 		cfg.Clusters = 4
+		if cfg.Hollow {
+			cfg.Clusters = 1
+		}
 	}
 	if cfg.Kernel == "" {
 		cfg.Kernel = "lu"
@@ -98,6 +116,11 @@ func NewSimBackend(cfg SimBackendConfig) (*SimBackend, error) {
 		cfg.Seed = 1
 	}
 	ncfg := vmm.DefaultNodeConfig()
+	if cfg.Hollow {
+		ncfg.PCPUs = 2
+		ncfg.Dom0VCPUs = 1
+		cfg.VCPUsPerVM = 1
+	}
 	w, err := vmm.NewWorld(cfg.Nodes, ncfg, netmodel.DefaultConfig(), extslice.Factory(credit.DefaultOptions()))
 	if err != nil {
 		return nil, err
@@ -113,7 +136,7 @@ func NewSimBackend(cfg SimBackendConfig) (*SimBackend, error) {
 			return nil, fmt.Errorf("sim backend: %w", err)
 		}
 	}
-	b := &SimBackend{World: w, period: ncfg.SchedPeriod, MaxPeriods: cfg.MaxPeriods, switches: cfg.Switches}
+	b := &SimBackend{World: w, period: ncfg.SchedPeriod, MaxPeriods: cfg.MaxPeriods, switches: cfg.Switches, hollow: cfg.Hollow}
 	if cfg.Telemetry != nil {
 		w.SetTelemetry(cfg.Telemetry)
 	}
@@ -128,6 +151,9 @@ func NewSimBackend(cfg SimBackendConfig) (*SimBackend, error) {
 		b.plan = plan
 	}
 	prof := workload.NPB(cfg.Kernel, cfg.Class)
+	if cfg.Hollow {
+		prof = hollowFleetProfile()
+	}
 	for vc := 0; vc < cfg.Clusters; vc++ {
 		var vms []*vmm.VM
 		for i := 0; i < cfg.Nodes; i++ {
@@ -159,32 +185,50 @@ func IsDone(err error) bool {
 	return ok
 }
 
-// Sample implements Source: advance one scheduling period and report
-// each guest VM's average spinlock latency.
-func (b *SimBackend) Sample() ([]VMSample, error) {
+// advance runs the cluster one scheduling period forward (shared by the
+// single-node Sample and the fleet SampleFleet paths).
+func (b *SimBackend) advance() error {
 	if b.periods >= b.MaxPeriods {
-		return nil, errDone{}
+		return errDone{}
 	}
 	b.periods++
 	if err := b.applySwitches(); err != nil {
-		return nil, err
+		return err
 	}
 	b.World.RunUntil(b.World.Eng.Now() + b.period)
+	return nil
+}
+
+// Sample implements Source: advance one scheduling period and report
+// each guest VM's average spinlock latency.
+func (b *SimBackend) Sample() ([]VMSample, error) {
+	if err := b.advance(); err != nil {
+		return nil, err
+	}
 	var out []VMSample
 	for _, vm := range b.World.GuestVMs() {
-		avg, seq, ok := vm.SampleSpinPeriod()
+		s, ok := b.sampleVM(vm)
 		if !ok {
 			continue // monitoring dropout: this VM reports nothing this period
 		}
-		out = append(out, VMSample{
-			ID:             vm.ID(),
-			AvgSpinLatency: avg,
-			Parallel:       vm.Class() == vmm.ClassParallel,
-			AdminSlice:     vm.AdminSlice,
-			Seq:            seq,
-		})
+		out = append(out, s)
 	}
 	return out, nil
+}
+
+// sampleVM reads one VM's period sample.
+func (b *SimBackend) sampleVM(vm *vmm.VM) (VMSample, bool) {
+	avg, seq, ok := vm.SampleSpinPeriod()
+	if !ok {
+		return VMSample{}, false
+	}
+	return VMSample{
+		ID:             vm.ID(),
+		AvgSpinLatency: avg,
+		Parallel:       vm.Class() == vmm.ClassParallel,
+		AdminSlice:     vm.AdminSlice,
+		Seq:            seq,
+	}, true
 }
 
 // FaultReport returns the attached fault plan's injection tallies (zero
@@ -229,7 +273,7 @@ func (b *SimBackend) applySwitches() error {
 // self-adapting policy (via PolicySwitch) own their slices and are
 // skipped.
 func (b *SimBackend) Apply(slices map[int]sim.Time) error {
-	if err := b.plan.FailActuation(b.World.Eng.Now()); err != nil {
+	if err := b.failActuation(); err != nil {
 		return err
 	}
 	for _, n := range b.World.Nodes() {

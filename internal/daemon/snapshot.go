@@ -1,0 +1,222 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"atcsched/internal/core"
+	"atcsched/internal/sim"
+	"atcsched/internal/telemetry"
+)
+
+// SnapshotVersion is the fleet snapshot schema version. Bump it — and
+// extend DecodeSnapshot — whenever a field changes meaning; decode
+// rejects any other version outright rather than guessing.
+const SnapshotVersion = 1
+
+// VMSnapshot is one VM's control state inside a NodeSnapshot. Times are
+// sim.Time nanoseconds; Lat/Slice are the controller's history windows,
+// oldest first, present only for VMs the controller has observed.
+type VMSnapshot struct {
+	ID        int        `json:"id"`
+	Known     bool       `json:"known,omitempty"`
+	Parallel  bool       `json:"parallel,omitempty"`
+	Admin     sim.Time   `json:"admin,omitempty"`
+	HasLast   bool       `json:"hasLast,omitempty"`
+	Last      sim.Time   `json:"last,omitempty"`
+	Seq       uint64     `json:"seq,omitempty"`
+	StaleRuns int        `json:"staleRuns,omitempty"`
+	Observed  int        `json:"observed,omitempty"`
+	Lat       []sim.Time `json:"lat,omitempty"`
+	Slice     []sim.Time `json:"slice,omitempty"`
+}
+
+// NodeSnapshot is one fleet node's control state.
+type NodeSnapshot struct {
+	Node        int          `json:"node"`
+	Periods     uint64       `json:"periods"`
+	ConsecDrops int          `json:"consecDrops,omitempty"`
+	Stats       Stats        `json:"stats"`
+	VMs         []VMSnapshot `json:"vms,omitempty"`
+}
+
+// FleetSnapshot is the deterministic, JSON-versioned image of the whole
+// control plane: per-node controller history, last-applied slices,
+// sequence numbers, stale/backoff accounting, plus the fleet queue
+// cursors (Periods/Decisions/Overflow). It holds no wall-clock state,
+// so a restore never perturbs the determinism fingerprint. Snapshots
+// are taken at the Step barrier, when the ingest ring and actuation
+// queues are empty — the queue cursor is the period count.
+type FleetSnapshot struct {
+	Version   int            `json:"version"`
+	Config    core.Config    `json:"config"`
+	Periods   uint64         `json:"periods"`
+	Decisions uint64         `json:"decisions"`
+	Overflow  uint64         `json:"overflow,omitempty"`
+	Nodes     []NodeSnapshot `json:"nodes"`
+}
+
+// Encode renders the snapshot as deterministic indented JSON (sorted
+// nodes and VMs, stable field order) with a trailing newline.
+func (s *FleetSnapshot) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeSnapshot parses and version-checks a snapshot.
+func DecodeSnapshot(data []byte) (*FleetSnapshot, error) {
+	var probe struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("daemon: snapshot: %w", err)
+	}
+	if probe.Version != SnapshotVersion {
+		return nil, fmt.Errorf("daemon: snapshot version %d, want %d", probe.Version, SnapshotVersion)
+	}
+	var s FleetSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("daemon: snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// Snapshot captures the fleet's control state. Call it at a Step
+// barrier (or after Stop+Drain): in-flight work is not represented, by
+// design — a decision that has not landed was never committed.
+func (f *Fleet) Snapshot() *FleetSnapshot {
+	s := &FleetSnapshot{
+		Version:   SnapshotVersion,
+		Config:    f.cfg,
+		Periods:   f.Periods(),
+		Decisions: f.Decisions(),
+		Overflow:  f.Overflow(),
+	}
+	for _, id := range f.Nodes() {
+		sh := f.shardOf(id)
+		sh.mu.Lock()
+		fn := sh.nodes[id]
+		sh.mu.Unlock()
+		if fn == nil {
+			continue
+		}
+		fn.mu.Lock()
+		s.Nodes = append(s.Nodes, snapshotNode(id, fn.loop))
+		fn.mu.Unlock()
+	}
+	return s
+}
+
+// snapshotNode images one node's loop (caller holds the node lock).
+func snapshotNode(id int, l *nodeLoop) NodeSnapshot {
+	ns := NodeSnapshot{
+		Node:        id,
+		Periods:     l.periods,
+		ConsecDrops: l.consecDrops,
+		Stats:       l.stats,
+	}
+	ids := map[int]bool{}
+	for vid := range l.last {
+		ids[vid] = true
+	}
+	for vid := range l.lastSeq {
+		ids[vid] = true
+	}
+	for vid := range l.staleRuns {
+		ids[vid] = true
+	}
+	for vid := range l.known {
+		ids[vid] = true
+	}
+	for _, vid := range l.ctl.TrackedVMs() {
+		ids[vid] = true
+	}
+	sorted := make([]int, 0, len(ids))
+	for vid := range ids {
+		sorted = append(sorted, vid)
+	}
+	sort.Ints(sorted)
+	for _, vid := range sorted {
+		vs := VMSnapshot{ID: vid, Seq: l.lastSeq[vid], StaleRuns: l.staleRuns[vid]}
+		if meta, ok := l.known[vid]; ok {
+			vs.Known = true
+			vs.Parallel = meta.parallel
+			vs.Admin = meta.admin
+		}
+		if last, ok := l.last[vid]; ok {
+			vs.HasLast = true
+			vs.Last = last
+		}
+		if lat, slice, obs, ok := l.ctl.ExportVM(vid); ok {
+			vs.Lat, vs.Slice, vs.Observed = lat, slice, obs
+		}
+		ns.VMs = append(ns.VMs, vs)
+	}
+	return ns
+}
+
+// Restore loads a snapshot into a freshly-built fleet, replacing any
+// state. The snapshot's controller config must match the fleet's (the
+// history windows are config-shaped). Node entries outside MaxNodes —
+// a snapshot from a larger fleet, or a corrupt node ID — are counted in
+// SkippedRestoreNodes and ignored, never fatal: the control plane must
+// come back up with whatever state is still valid. Call before Run.
+func (f *Fleet) Restore(s *FleetSnapshot) error {
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("daemon: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	if s.Config != f.cfg {
+		return fmt.Errorf("daemon: snapshot config %+v does not match fleet config %+v", s.Config, f.cfg)
+	}
+	start := f.telNow()
+	f.periods.Store(s.Periods)
+	f.decisions.Store(s.Decisions)
+	f.overflow.Store(s.Overflow)
+	for i := range s.Nodes {
+		ns := &s.Nodes[i]
+		if f.opts.MaxNodes > 0 && (ns.Node < 0 || ns.Node >= f.opts.MaxNodes) {
+			f.skippedRestore.Add(1)
+			continue
+		}
+		l := newNodeLoop(f.cfg, f.opts.Node)
+		l.periods = ns.Periods
+		l.consecDrops = ns.ConsecDrops
+		l.stats = ns.Stats
+		for _, vs := range ns.VMs {
+			if vs.Known {
+				l.known[vs.ID] = vmMeta{parallel: vs.Parallel, admin: vs.Admin}
+			}
+			if vs.HasLast {
+				l.last[vs.ID] = vs.Last
+			}
+			if vs.Seq != 0 {
+				l.lastSeq[vs.ID] = vs.Seq
+			}
+			if vs.StaleRuns != 0 {
+				l.staleRuns[vs.ID] = vs.StaleRuns
+			}
+			if len(vs.Lat) > 0 || len(vs.Slice) > 0 {
+				if err := l.ctl.ImportVM(vs.ID, vs.Lat, vs.Slice, vs.Observed); err != nil {
+					return fmt.Errorf("daemon: restore node %d: %w", ns.Node, err)
+				}
+			}
+		}
+		sh := f.shardOf(ns.Node)
+		sh.mu.Lock()
+		sh.nodes[ns.Node] = &fleetNode{loop: l}
+		sh.mu.Unlock()
+		f.restoredNodes.Add(1)
+	}
+	if f.tel != nil {
+		f.tel.AddSpan(telemetry.Span{
+			Name: "restore", Track: "fleet", Node: -1, Start: start, End: f.telNow(),
+			Value: sim.Time(f.restoredNodes.Load()),
+		})
+		f.tel.Add("fleet_restores", telemetry.GlobalLabel(), 1)
+	}
+	return nil
+}

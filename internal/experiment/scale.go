@@ -84,14 +84,16 @@ type scaleCell struct {
 	PeakRSSMB float64 `json:"peak_rss_mb"`
 }
 
-// scaleRun is one full sweep appended to BENCH_scale.json.
+// scaleRun is one full sweep appended to BENCH_scale.json: a simulator
+// sweep fills Cells, a fleet control-plane sweep fills Fleet.
 type scaleRun struct {
 	Date  string      `json:"date"`
 	Go    string      `json:"go"`
 	Cores int         `json:"cores"`
 	Scale string      `json:"scale"`
 	Seed  uint64      `json:"seed"`
-	Cells []scaleCell `json:"cells"`
+	Cells []scaleCell `json:"cells,omitempty"`
+	Fleet []fleetCell `json:"fleet,omitempty"`
 }
 
 // benchScaleFile is the BENCH_scale.json shape: runs accumulate across

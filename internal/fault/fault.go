@@ -56,12 +56,19 @@ const (
 	// (default 1) while the window is open — the knob the daemon's retry
 	// and give-up machinery is tested against.
 	ActuatorFail Kind = "actuator-fail"
+	// DaemonCrash takes the control daemon itself down for the window:
+	// no sampling, no decisions, no actuations — the fleet control
+	// plane's own blackout, which snapshot/restore must ride out. It is
+	// binary (no severity) and cluster-wide (no scope), like the daemon
+	// it models. Inert for in-sim self-adapting schedulers, which have
+	// no daemon to crash.
+	DaemonCrash Kind = "daemon-crash"
 )
 
 // Kinds returns every supported kind in a fixed order.
 func Kinds() []Kind {
 	return []Kind{PCPUSlow, PCPUFreeze, PacketLoss, Bandwidth,
-		MonitorDrop, MonitorNoise, MonitorStale, ActuatorFail}
+		MonitorDrop, MonitorNoise, MonitorStale, ActuatorFail, DaemonCrash}
 }
 
 // freezeFactor stands in for "no progress": large enough that a frozen
@@ -199,6 +206,10 @@ func (w *Window) validate(nodes int) error {
 	case PCPUFreeze:
 		if sev != 0 {
 			return fmt.Errorf("pcpu-freeze takes no severity (got %v)", sev)
+		}
+	case DaemonCrash:
+		if sev != 0 {
+			return fmt.Errorf("daemon-crash takes no severity (got %v)", sev)
 		}
 	case Bandwidth:
 		if sev != 0 && (sev <= 0 || sev >= 1) {

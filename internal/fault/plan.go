@@ -50,13 +50,22 @@ type Report struct {
 	SamplesNoised  uint64
 	// ActuationsFailed counts slice applications the plan rejected.
 	ActuationsFailed uint64
+	// DaemonDarkPeriods counts control periods that passed while a
+	// daemon-crash window held the control plane down.
+	DaemonDarkPeriods uint64
 }
 
 // String renders the report deterministically (the second half of the
-// byte-identical determinism contract).
+// byte-identical determinism contract). DaemonDarkPeriods is rendered
+// only when nonzero so every pre-existing report fingerprint is
+// unchanged.
 func (r Report) String() string {
-	return fmt.Sprintf("faults: lost=%d dropped=%d staled=%d noised=%d actfail=%d",
+	s := fmt.Sprintf("faults: lost=%d dropped=%d staled=%d noised=%d actfail=%d",
 		r.PacketsLost, r.SamplesDropped, r.SamplesStaled, r.SamplesNoised, r.ActuationsFailed)
+	if r.DaemonDarkPeriods != 0 {
+		s += fmt.Sprintf(" dark=%d", r.DaemonDarkPeriods)
+	}
+	return s
 }
 
 // Compile validates the spec and binds it to a seed. fallbackSeed is
@@ -144,8 +153,34 @@ func (p *Plan) Report() Report {
 		r.SamplesStaled += nr.SamplesStaled
 		r.SamplesNoised += nr.SamplesNoised
 		r.ActuationsFailed += nr.ActuationsFailed
+		r.DaemonDarkPeriods += nr.DaemonDarkPeriods
 	}
 	return r
+}
+
+// DaemonDown reports whether a daemon-crash window holds the control
+// plane down at virtual time now. Nil-safe.
+func (p *Plan) DaemonDown(now sim.Time) bool {
+	if p == nil {
+		return false
+	}
+	for i := range p.windows {
+		w := &p.windows[i]
+		if w.kind == DaemonCrash && w.active(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// CountDarkPeriod tallies one control period lost to a daemon-crash
+// window. Nil-safe; call from the control loop's driver, which is the
+// only party that knows its period grid.
+func (p *Plan) CountDarkPeriod() {
+	if p == nil {
+		return
+	}
+	p.rep.DaemonDarkPeriods++
 }
 
 // PublishTelemetry renders the plan into reg (usually the plane's
@@ -174,6 +209,9 @@ func (p *Plan) PublishTelemetry(reg *telemetry.Registry) {
 	reg.SetCount("fault_samples_staled", lab, r.SamplesStaled)
 	reg.SetCount("fault_samples_noised", lab, r.SamplesNoised)
 	reg.SetCount("fault_actuations_failed", lab, r.ActuationsFailed)
+	if r.DaemonDarkPeriods > 0 {
+		reg.SetCount("fault_daemon_dark_periods", lab, r.DaemonDarkPeriods)
+	}
 }
 
 // drawFor returns the rng stream and report the hook for node should

@@ -368,6 +368,11 @@ func CheckSpec(spec Spec, approaches []cluster.Approach) error {
 		return fmt.Errorf("determinism: %s replay diverged (fingerprints differ at byte %d of %d/%d)",
 			primary, diffAt(primaryFP, replay.fingerprint), len(primaryFP), len(replay.fingerprint))
 	}
+	if spec.FleetNodes > 0 {
+		if err := checkFleetKillRestore(spec); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,117 @@
+package proptest
+
+import (
+	"bytes"
+	"fmt"
+
+	"atcsched/internal/core"
+	"atcsched/internal/daemon"
+	"atcsched/internal/fault"
+)
+
+// Fleet kill-restore property geometry: 40 hollow control periods (30ms
+// each) with a daemon-crash blackout over roughly periods 16-25 and the
+// kill landing mid-blackout at period 20 — the worst moment to die.
+const (
+	fleetKRPeriods = 40
+	fleetKRKillAt  = 20
+)
+
+// fleetBackend builds the property's hollow world: FleetNodes kubemark
+// nodes plus the blackout window.
+func fleetBackend(spec Spec) (*daemon.SimBackend, error) {
+	return daemon.NewSimBackend(daemon.SimBackendConfig{
+		Nodes:      spec.FleetNodes,
+		Hollow:     true,
+		MaxPeriods: fleetKRPeriods,
+		Seed:       spec.Seed,
+		Faults: &fault.Spec{Windows: []fault.Window{
+			{Kind: fault.DaemonCrash, StartSec: 0.45, DurSec: 0.3},
+		}},
+	})
+}
+
+// stepFleet drives f for n control periods (early clean end is fine).
+func stepFleet(f *daemon.Fleet, n int) error {
+	for i := 0; i < n; i++ {
+		if err := f.Step(); err != nil {
+			if daemon.IsDone(err) {
+				return nil
+			}
+			return fmt.Errorf("period %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// checkFleetKillRestore proves the fleet control plane's resilience
+// property on spec's hollow side-world: a fleet daemon killed in the
+// middle of a daemon-crash blackout and restored from its snapshot must
+// converge to control state byte-identical to an uninterrupted run's.
+// The shard count is seed-derived so the sweep spreads coverage over
+// 1..4 shards.
+func checkFleetKillRestore(spec Spec) error {
+	shards := 1 + int(spec.Seed%4)
+	opts := daemon.FleetOptions{Shards: shards, MaxNodes: spec.FleetNodes}
+	cfg := core.DefaultConfig()
+
+	// Uninterrupted reference run.
+	refB, err := fleetBackend(spec)
+	if err != nil {
+		return fmt.Errorf("fleet: build: %w", err)
+	}
+	ref := daemon.NewFleet(cfg, refB, refB, opts)
+	if err := stepFleet(ref, fleetKRPeriods); err != nil {
+		ref.Close()
+		return fmt.Errorf("fleet: reference: %w", err)
+	}
+	refSnap, err := ref.Snapshot().Encode()
+	ref.Close()
+	if err != nil {
+		return fmt.Errorf("fleet: reference snapshot: %w", err)
+	}
+
+	// Killed-and-restored run on an identical world.
+	b, err := fleetBackend(spec)
+	if err != nil {
+		return fmt.Errorf("fleet: build: %w", err)
+	}
+	f1 := daemon.NewFleet(cfg, b, b, opts)
+	if err := stepFleet(f1, fleetKRKillAt); err != nil {
+		f1.Close()
+		return fmt.Errorf("fleet: pre-kill: %w", err)
+	}
+	enc, err := f1.Snapshot().Encode()
+	f1.Close() // the crash
+	if err != nil {
+		return fmt.Errorf("fleet: kill snapshot: %w", err)
+	}
+	snap, err := daemon.DecodeSnapshot(enc)
+	if err != nil {
+		return fmt.Errorf("fleet: decode: %w", err)
+	}
+	f2 := daemon.NewFleet(cfg, b, b, opts)
+	defer f2.Close()
+	if err := f2.Restore(snap); err != nil {
+		return fmt.Errorf("fleet: restore: %w", err)
+	}
+	if got := int(f2.RestoredNodes()); got != len(snap.Nodes) {
+		return fmt.Errorf("fleet: restored %d of %d snapshot nodes", got, len(snap.Nodes))
+	}
+	if err := stepFleet(f2, fleetKRPeriods-fleetKRKillAt); err != nil {
+		return fmt.Errorf("fleet: post-restore: %w", err)
+	}
+	gotSnap, err := f2.Snapshot().Encode()
+	if err != nil {
+		return fmt.Errorf("fleet: final snapshot: %w", err)
+	}
+	if !bytes.Equal(gotSnap, refSnap) {
+		return fmt.Errorf("fleet: kill-restore control state diverges from uninterrupted run "+
+			"(nodes=%d shards=%d, first diff at byte %d of %d/%d)",
+			spec.FleetNodes, shards, diffAt(string(gotSnap), string(refSnap)), len(gotSnap), len(refSnap))
+	}
+	if b.FaultReport().DaemonDarkPeriods == 0 {
+		return fmt.Errorf("fleet: blackout window never engaged")
+	}
+	return nil
+}

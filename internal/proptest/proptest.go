@@ -80,6 +80,13 @@ type Spec struct {
 	// equivalence check additionally proves fingerprints match across
 	// shard counts.
 	Shards int `json:"shards,omitempty"`
+	// FleetNodes, when positive, additionally runs the fleet
+	// control-plane kill-restore property on a separate hollow world of
+	// that many nodes: a fleet daemon killed mid-run and restored from
+	// its snapshot must converge to a byte-identical control-state
+	// snapshot versus an uninterrupted run, including through a
+	// daemon-crash blackout window.
+	FleetNodes int `json:"fleetNodes,omitempty"`
 	// Telemetry attaches a full telemetry plane to every run. The plane
 	// must be invisible to the simulation — fingerprints are byte
 	// identical with or without it — so the battery runs a slice of
@@ -123,6 +130,10 @@ const (
 	maxJobs       = 8
 	maxHorizonSec = 3600
 	maxShards     = 8
+	// maxFleetNodes bounds the hollow fleet in the kill-restore
+	// property; the control plane scales far beyond this, but a
+	// property-test world stays tiny.
+	maxFleetNodes = 8
 	// maxFaultWindows is tighter than the fault package's own cap: a
 	// property-test world is tiny, and a handful of windows already
 	// exercises every hook.
@@ -146,6 +157,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("proptest: horizon %vs out of (0,%d]", s.HorizonSec, maxHorizonSec)
 	case s.Shards < 0 || s.Shards > maxShards:
 		return fmt.Errorf("proptest: shards %d out of [0,%d]", s.Shards, maxShards)
+	case s.FleetNodes < 0 || s.FleetNodes > maxFleetNodes:
+		return fmt.Errorf("proptest: fleetNodes %d out of [0,%d]", s.FleetNodes, maxFleetNodes)
 	}
 	for i, c := range s.Clusters {
 		if _, err := c.profile(); err != nil {
@@ -396,6 +409,11 @@ func Generate(seed uint64, lim Limits) Spec {
 	if src.Float64() < 0.15 {
 		shardChoices := []int{1, 2, 4, 8}
 		spec.Shards = shardChoices[src.Intn(len(shardChoices))]
+	}
+	// A slice of scenarios also proves the fleet control plane's
+	// kill-restore property on a side world of a few hollow nodes.
+	if src.Float64() < 0.15 {
+		spec.FleetNodes = 1 + src.Intn(maxFleetNodes)
 	}
 	// A slice of scenarios runs fully instrumented; telemetry must never
 	// show in a fingerprint, so these runs are plain battery members.

@@ -149,6 +149,18 @@ func candidates(s Spec) []Spec {
 		c.Telemetry = false
 		out = append(out, c)
 	}
+	// The fleet side-world shrinks toward one node, then away entirely —
+	// isolating whether a failure needs the fleet property at all.
+	if s.FleetNodes > 1 {
+		c := clone(s)
+		c.FleetNodes = halve(c.FleetNodes)
+		out = append(out, c)
+	}
+	if s.FleetNodes != 0 {
+		c := clone(s)
+		c.FleetNodes = 0
+		out = append(out, c)
+	}
 	return out
 }
 

@@ -119,6 +119,34 @@ func TestPolicySwitchExample(t *testing.T) {
 	}
 }
 
+// TestFleetExample runs the committed fleet-flavoured example to
+// completion: a mixed-policy 4-node cluster carrying a daemon-crash
+// blackout window. The window is inert for in-sim schedulers (they
+// actuate locally, not through an external daemon), so the run must
+// complete with a clean audit and the expected per-node policies — it
+// documents the blackout shape the fleet control plane rides out.
+func TestFleetExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run")
+	}
+	res := loadExample(t, "fleet.json")
+	if res.Scenario.FaultPlan() == nil {
+		t.Fatal("fleet example built without a fault plan")
+	}
+	if _, err := res.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{0: "ATC", 1: "ATC", 2: "CS", 3: "CR"}
+	for n, name := range want {
+		if got := res.Scenario.World.Node(n).Scheduler().Name(); got != name {
+			t.Errorf("node %d scheduler = %s, want %s", n, got, name)
+		}
+	}
+	if errs := res.Scenario.World.Audit(); len(errs) > 0 {
+		t.Fatalf("audit: %v", errs[0])
+	}
+}
+
 // TestDFRSExample runs the committed fractional-share example to
 // completion: DFRS cluster-wide, node 2 on the ATC×DFRS hybrid from the
 // start, and node 0 live-switched to the hybrid mid-run.

@@ -97,6 +97,39 @@ type Histogram struct {
 	Sum    sim.Time   `json:"sum"`
 }
 
+// Quantile estimates the q-quantile (clamped to [0,1]) from the
+// cumulative bucket counts, interpolating linearly within the winning
+// bucket — the Prometheus histogram_quantile estimator. Observations
+// beyond the last bound clamp to it; an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	var prevCum uint64
+	var lo sim.Time
+	for i, cum := range h.Counts {
+		if float64(cum) >= target {
+			in := cum - prevCum
+			hi := h.Bounds[i]
+			if in == 0 {
+				return hi
+			}
+			frac := (target - float64(prevCum)) / float64(in)
+			return lo + sim.Time(frac*float64(hi-lo))
+		}
+		prevCum = cum
+		lo = h.Bounds[i]
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // DefaultBounds is the sim-latency bucket ladder: wide enough for
 // microsecond spin episodes through multi-second stalls.
 func DefaultBounds() []sim.Time {
